@@ -1,0 +1,114 @@
+"""Substrate benchmarks: BGZF / BAM codec throughput and the two
+pileup engines.
+
+Not a paper table, but the numbers contextualise Figure 2's "time
+spent iterating over the .bam file is substantial" observation for
+this Python reproduction, and guard against codec regressions.
+"""
+
+import io
+
+import pytest
+
+from repro.io.bam import BamReader, BamWriter
+from repro.io.bgzf import BgzfReader, BgzfWriter
+from repro.io.regions import Region
+from repro.pileup.engine import PileupConfig, pileup
+from repro.pileup.vectorized import pileup_sample
+
+
+@pytest.fixture(scope="module")
+def payload():
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 255, size=4 << 20, dtype=np.uint8).tobytes()
+
+
+@pytest.fixture(scope="module")
+def bam_bytes(table1_workload):
+    _, _, samples = table1_workload
+    sample = samples[2000]
+    buf = io.BytesIO()
+    writer = BamWriter(buf, sample.header())
+    for read in sample.reads():
+        writer.write(read)
+    writer.close()
+    return buf.getvalue()
+
+
+def test_bgzf_compress(benchmark, payload):
+    def compress():
+        buf = io.BytesIO()
+        with BgzfWriter(buf) as w:
+            w.write(payload)
+        return buf.tell()
+
+    size = benchmark(compress)
+    benchmark.extra_info["compressed_mb"] = round(size / 1e6, 2)
+
+
+def test_bgzf_decompress(benchmark, payload):
+    buf = io.BytesIO()
+    with BgzfWriter(buf) as w:
+        w.write(payload)
+    raw = buf.getvalue()
+
+    def decompress():
+        return len(BgzfReader(io.BytesIO(raw)).read())
+
+    n = benchmark(decompress)
+    assert n == len(payload)
+
+
+def test_bam_decode(benchmark, bam_bytes):
+    def decode():
+        with BamReader(io.BytesIO(bam_bytes)) as reader:
+            return sum(1 for _ in reader)
+
+    n = benchmark.pedantic(decode, rounds=2, iterations=1)
+    benchmark.extra_info["records"] = n
+
+
+def test_bam_encode(benchmark, table1_workload):
+    _, _, samples = table1_workload
+    sample = samples[2000]
+    reads = sample.read_list()
+    header = sample.header()
+
+    def encode():
+        buf = io.BytesIO()
+        writer = BamWriter(buf, header)
+        for read in reads:
+            writer.write(read)
+        writer.close()
+        return buf.tell()
+
+    benchmark.pedantic(encode, rounds=2, iterations=1)
+    benchmark.extra_info["records"] = len(reads)
+
+
+def test_pileup_streaming(benchmark, table1_workload):
+    genome, _, samples = table1_workload
+    sample = samples[2000]
+    reads = sample.read_list()
+    region = Region(genome.name, 0, len(genome))
+
+    def run():
+        return sum(
+            1 for _ in pileup(iter(reads), genome.sequence, region,
+                              PileupConfig())
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_pileup_vectorized(benchmark, table1_workload):
+    genome, _, samples = table1_workload
+    sample = samples[2000]
+    region = Region(genome.name, 0, len(genome))
+
+    def run():
+        return sum(1 for _ in pileup_sample(sample, region))
+
+    benchmark.pedantic(run, rounds=2, iterations=1)

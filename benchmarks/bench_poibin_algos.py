@@ -1,0 +1,121 @@
+"""Ablation: Poisson-binomial tail algorithms head to head.
+
+The paper picks the Poisson approximation over "more recent algorithms
+[that] may improve [on the O(d^2) DP] but remain complex" (refs [11],
+[12]).  This bench makes the comparison concrete across depths: the
+pruned DP (LoFreq's existing early stop), the full DP, Hong's DFT-CF,
+the Biscarri refined normal approximation, and the paper's Poisson
+first pass -- timing each and reporting its error against the exact
+value at the borderline K where the decision actually happens.
+
+It also covers the Discussion's long-read note ("the approximation is
+more accurate when the error probabilities are higher"): the error
+table is produced for both a Q30-like and a Q12-like quality mix.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.stats.approximation import le_cam_bound, poisson_tail_approx
+from repro.stats.dftcf import poibin_sf_dftcf
+from repro.stats.normal_approx import poibin_sf_refined_normal
+from repro.stats.poisson_binomial import poibin_sf_dp
+
+from conftest import write_report
+
+DEPTHS = [200, 1000, 5000, 20000]
+
+
+def _probs(d, q_mean, seed=0):
+    rng = np.random.default_rng(seed)
+    quals = rng.normal(q_mean, 3.0, size=d).clip(2, 41)
+    return 10.0 ** (-quals / 10.0) / 3.0
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+@pytest.mark.parametrize(
+    "algo", ["dp_pruned", "dp_full", "dftcf", "rna", "poisson"]
+)
+def test_poibin_algo_runtime(benchmark, depth, algo):
+    """Time one algorithm at one depth, at the noise-regime K."""
+    p = _probs(depth, 30.0)
+    lam = p.sum()
+    k = int(lam) + 3  # borderline: just right of the mean
+    fns = {
+        "dp_pruned": lambda: poibin_sf_dp(k, p, prune_above=1e-6),
+        "dp_full": lambda: poibin_sf_dp(k, p),
+        "dftcf": lambda: poibin_sf_dftcf(k, p),
+        "rna": lambda: poibin_sf_refined_normal(k, p),
+        "poisson": lambda: poisson_tail_approx(k, p),
+    }
+    if algo == "dftcf" and depth > 5000:
+        pytest.skip("DFT-CF O(d^2) CF product too slow beyond 5k here")
+    benchmark.pedantic(fns[algo], rounds=3, iterations=1)
+    benchmark.extra_info["depth"] = depth
+    benchmark.extra_info["algo"] = algo
+
+
+def test_poibin_accuracy_report(benchmark):
+    def build():
+        sections = []
+        for label, q_mean in (("Q30 (short-read)", 30.0),
+                              ("Q12 (long-read-like)", 12.0)):
+            rows = []
+            for d in DEPTHS:
+                p = _probs(d, q_mean)
+                lam = p.sum()
+                k = int(lam) + 3
+                t0 = time.perf_counter()
+                exact = poibin_sf_dp(k, p).pvalue
+                t_dp = time.perf_counter() - t0
+                t0 = time.perf_counter()
+                pois = poisson_tail_approx(k, p)
+                t_pois = time.perf_counter() - t0
+                rna = poibin_sf_refined_normal(k, p)
+                rows.append(
+                    (d, k, exact, pois, rna, le_cam_bound(p), t_dp, t_pois)
+                )
+            sections.append((label, rows))
+        return sections
+
+    sections = benchmark.pedantic(build, rounds=1, iterations=1)
+    lines = ["Poisson-binomial algorithm comparison at borderline K", ""]
+    rel_errs = {}
+    for label, rows in sections:
+        lines.append(f"--- {label} ---")
+        lines.append(
+            f"{'d':>7} {'K':>5} {'exact':>10} {'Poisson':>10} {'RNA':>10} "
+            f"{'|err| Pois':>11} {'LeCam bnd':>10} {'t_DP (s)':>9} {'t_Pois':>9}"
+        )
+        errs = []
+        for d, k, exact, pois, rna, bound, t_dp, t_pois in rows:
+            err = abs(pois - exact)
+            errs.append(err / max(exact, 1e-300))
+            lines.append(
+                f"{d:>7} {k:>5} {exact:>10.4g} {pois:>10.4g} {rna:>10.4g} "
+                f"{err:>11.2e} {bound:>10.2e} {t_dp:>9.4f} {t_pois:>9.5f}"
+            )
+            assert err <= bound + 1e-12
+        rel_errs[label] = errs
+        lines.append("")
+    # Discussion aside under test: "the approximation is more accurate
+    # when the error probabilities p_i are higher".  We measure the
+    # opposite at borderline K: both the Hodges--Le Cam bound (sum
+    # p_i^2) and the realised relative error GROW with p_i.  The
+    # finding is reported rather than asserted either way; see
+    # EXPERIMENTS.md for the discussion of this non-reproduction.
+    q30 = rel_errs["Q30 (short-read)"]
+    q12 = rel_errs["Q12 (long-read-like)"]
+    better = sum(1 for a, b in zip(q12, q30) if a < b)
+    lines.append(
+        f"depths where the high-error (Q12) regime is MORE accurate than "
+        f"Q30: {better}/{len(q30)}"
+    )
+    lines.append(
+        "-> the Discussion's 'more accurate at higher error rates' aside "
+        "does not reproduce under this metric; the Le Cam bound sum p_i^2 "
+        "grows with p_i, and measured errors follow it."
+    )
+    write_report("poibin_algos.txt", "\n".join(lines))

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: simulate an ultra-deep sample and call low-frequency
+variants with both caller versions.
+
+Run:  python examples/quickstart.py
+"""
+
+import time
+
+from repro import (
+    CallerConfig,
+    ReadSimulator,
+    VariantCaller,
+    random_panel,
+    sars_cov_2_like,
+)
+
+
+def main() -> None:
+    # 1. A SARS-CoV-2-like reference (shortened for the demo).
+    genome = sars_cov_2_like(length=2_000, seed=7)
+
+    # 2. Ten true low-frequency variants (1% - 10% population frequency).
+    panel = random_panel(genome.sequence, 10, freq_range=(0.01, 0.10), seed=7)
+    print("ground truth:")
+    for v in panel:
+        print(f"  {v.pos + 1:>6} {v.ref}->{v.alt}  AF={v.frequency:.3f}")
+
+    # 3. Sequence it to 2,000x with a calibrated HiSeq-like error model.
+    sample = ReadSimulator(genome, panel, read_length=100).simulate(
+        depth=2_000, seed=7
+    )
+    print(f"\nsimulated {sample.n_reads} reads ({sample.mean_depth:.0f}x)")
+
+    # 4. Call variants: the paper's improved workflow vs the original.
+    for label, config in (
+        ("improved (Poisson first-pass filter)", CallerConfig.improved()),
+        ("original (exact test everywhere)", CallerConfig.original()),
+    ):
+        caller = VariantCaller(config)
+        t0 = time.perf_counter()
+        result = caller.call_sample(sample)
+        elapsed = time.perf_counter() - t0
+        stats = result.stats
+        print(f"\n=== {label} ===")
+        print(f"  {len(result.passed)} PASS calls in {elapsed:.2f} s")
+        print(
+            f"  allele tests: {stats.tests_run}, "
+            f"exact DP skipped: {stats.exact_skipped} "
+            f"({stats.skip_fraction():.0%}), DP steps: {stats.dp_steps}"
+        )
+        for call in result.passed:
+            print(
+                f"    {call.pos + 1:>6} {call.ref}->{call.alt} "
+                f"AF={call.af:.4f} DP={call.depth} Q={call.quality:.0f}"
+            )
+
+    # 5. The paper's headline: identical output, less work.
+    improved = VariantCaller(CallerConfig.improved()).call_sample(sample)
+    original = VariantCaller(CallerConfig.original()).call_sample(sample)
+    assert improved.keys() == original.keys()
+    print("\ncall sets identical between versions (the paper's Table I claim)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Call-set analysis: concordance checks and upset plots (Figure 3).
+
+* :mod:`repro.analysis.concordance` -- pairwise comparison of call
+  sets (shared / unique / Jaccard), used both by the validation tests
+  ("identical variants between versions", Table I) and the CLI.
+* :mod:`repro.analysis.accuracy` -- precision/recall scoring against a
+  simulated sample's ground-truth panel, with per-frequency-band
+  sensitivity breakdown.
+* :mod:`repro.analysis.upset` -- exclusive-intersection computation
+  over N sets plus an ASCII upset-plot renderer, reproducing the
+  paper's Figure 3 view of SNVs shared across the five datasets.
+"""
+
+from repro.analysis.accuracy import (
+    AccuracyReport,
+    frequency_band_recall,
+    score_calls,
+)
+from repro.analysis.concordance import ConcordanceReport, compare_call_sets
+from repro.analysis.upset import UpsetResult, compute_upset, render_upset
+
+__all__ = [
+    "AccuracyReport",
+    "ConcordanceReport",
+    "UpsetResult",
+    "compare_call_sets",
+    "compute_upset",
+    "frequency_band_recall",
+    "render_upset",
+    "score_calls",
+]

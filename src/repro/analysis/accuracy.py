@@ -1,0 +1,117 @@
+"""Caller accuracy against a known truth set.
+
+The benchmarking study the paper builds on (Sandmann et al. 2017,
+ref [8]) ranks variant callers by sensitivity/precision on data with
+known ground truth; simulated samples carry their truth panel, so this
+module scores any call set against it: true/false positives, false
+negatives, precision, recall, F1, and a per-frequency-band breakdown
+(low-frequency sensitivity is the whole point of LoFreq).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.results import VariantCall
+from repro.sim.haplotypes import VariantPanel
+
+__all__ = ["AccuracyReport", "score_calls", "frequency_band_recall"]
+
+Key = Tuple[int, str, str]
+
+
+@dataclasses.dataclass(frozen=True)
+class AccuracyReport:
+    """Confusion counts and derived rates for one call set.
+
+    Attributes:
+        true_positives: called variants present in the truth panel.
+        false_positives: called variants absent from the truth panel.
+        false_negatives: truth variants not called.
+    """
+
+    true_positives: frozenset
+    false_positives: frozenset
+    false_negatives: frozenset
+
+    @property
+    def n_tp(self) -> int:
+        return len(self.true_positives)
+
+    @property
+    def n_fp(self) -> int:
+        return len(self.false_positives)
+
+    @property
+    def n_fn(self) -> int:
+        return len(self.false_negatives)
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 when nothing was called."""
+        denom = self.n_tp + self.n_fp
+        return self.n_tp / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 when the truth set is empty."""
+        denom = self.n_tp + self.n_fn
+        return self.n_tp / denom if denom else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0 when both are 0)."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"TP={self.n_tp} FP={self.n_fp} FN={self.n_fn} "
+            f"precision={self.precision:.3f} recall={self.recall:.3f} "
+            f"F1={self.f1:.3f}"
+        )
+
+
+def _call_keys(calls: Iterable[VariantCall]) -> set:
+    return {
+        (c.pos, c.ref, c.alt) for c in calls if c.filter == "PASS"
+    }
+
+
+def score_calls(
+    calls: Sequence[VariantCall], panel: VariantPanel
+) -> AccuracyReport:
+    """Score PASS calls against a truth panel (position/ref/alt keys)."""
+    called = _call_keys(calls)
+    truth = {(v.pos, v.ref, v.alt) for v in panel}
+    return AccuracyReport(
+        true_positives=frozenset(called & truth),
+        false_positives=frozenset(called - truth),
+        false_negatives=frozenset(truth - called),
+    )
+
+
+def frequency_band_recall(
+    calls: Sequence[VariantCall],
+    panel: VariantPanel,
+    bands: Sequence[Tuple[float, float]] = (
+        (0.0, 0.01),
+        (0.01, 0.05),
+        (0.05, 0.20),
+        (0.20, 1.01),
+    ),
+) -> Dict[Tuple[float, float], Tuple[int, int]]:
+    """Recall broken down by true population frequency.
+
+    Returns ``{(lo, hi): (n_called, n_truth)}`` for truth variants with
+    ``lo <= frequency < hi``.  Low bands are where depth buys
+    sensitivity -- the force shaping Figure 3's per-dataset totals.
+    """
+    called = _call_keys(calls)
+    out: Dict[Tuple[float, float], Tuple[int, int]] = {}
+    for lo, hi in bands:
+        truths = [v for v in panel if lo <= v.frequency < hi]
+        hit = sum(1 for v in truths if (v.pos, v.ref, v.alt) in called)
+        out[(lo, hi)] = (hit, len(truths))
+    return out

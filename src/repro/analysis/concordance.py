@@ -1,0 +1,76 @@
+"""Pairwise call-set comparison.
+
+The paper's headline accuracy claim is concordance: "the number of
+variants called was identical between versions" on all five datasets,
+and structurally the improved caller can only ever produce a *subset*
+of the original's calls (the approximation only skips).  This module
+provides the machinery those checks -- and the equivalent CLI
+subcommand -- are built on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet, Iterable, Set, Tuple
+
+__all__ = ["ConcordanceReport", "compare_call_sets"]
+
+Key = Tuple[str, int, str, str]
+
+
+@dataclasses.dataclass(frozen=True)
+class ConcordanceReport:
+    """Outcome of comparing call sets A and B.
+
+    Attributes:
+        shared: keys in both.
+        only_a / only_b: keys private to one side.
+        jaccard: |A & B| / |A | B| (1.0 for two empty sets).
+    """
+
+    shared: FrozenSet[Key]
+    only_a: FrozenSet[Key]
+    only_b: FrozenSet[Key]
+
+    @property
+    def identical(self) -> bool:
+        return not self.only_a and not self.only_b
+
+    @property
+    def a_subset_of_b(self) -> bool:
+        return not self.only_a
+
+    @property
+    def b_subset_of_a(self) -> bool:
+        return not self.only_b
+
+    @property
+    def jaccard(self) -> float:
+        union = len(self.shared) + len(self.only_a) + len(self.only_b)
+        if union == 0:
+            return 1.0
+        return len(self.shared) / union
+
+    def summary(self, label_a: str = "A", label_b: str = "B") -> str:
+        """One-line human-readable report."""
+        return (
+            f"{label_a}: {len(self.shared) + len(self.only_a)} calls, "
+            f"{label_b}: {len(self.shared) + len(self.only_b)} calls, "
+            f"shared {len(self.shared)}, "
+            f"{label_a}-only {len(self.only_a)}, "
+            f"{label_b}-only {len(self.only_b)}, "
+            f"jaccard {self.jaccard:.3f}"
+        )
+
+
+def compare_call_sets(
+    a: Iterable[Key], b: Iterable[Key]
+) -> ConcordanceReport:
+    """Compare two collections of variant keys ``(chrom, pos, ref, alt)``."""
+    sa: Set[Key] = set(a)
+    sb: Set[Key] = set(b)
+    return ConcordanceReport(
+        shared=frozenset(sa & sb),
+        only_a=frozenset(sa - sb),
+        only_b=frozenset(sb - sa),
+    )

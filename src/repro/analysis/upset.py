@@ -1,0 +1,125 @@
+"""Upset-plot computation and ASCII rendering (Figure 3).
+
+An upset plot (Lex et al. 2014, the paper's reference [16]) shows the
+sizes of all *exclusive* intersections of N sets: each column is a
+subset membership pattern (which sets an element belongs to) and its
+bar counts elements with exactly that pattern.  The paper uses one to
+show SNVs shared across its five depth datasets; we compute the same
+structure from call-set keys and render it as text::
+
+    100000x   . . x . .   |#######  92
+    300000x   . x . x .   |###      35
+    ...
+
+plus per-set totals (the paper's bottom-left bars).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Sequence, Tuple
+
+__all__ = ["UpsetResult", "compute_upset", "render_upset"]
+
+
+@dataclasses.dataclass
+class UpsetResult:
+    """Exclusive intersection structure over named sets.
+
+    Attributes:
+        labels: set names in display order.
+        intersections: ``{membership pattern -> count}`` where a
+            pattern is a frozenset of labels; only non-empty patterns
+            with non-zero counts are stored.
+        totals: per-label set sizes.
+    """
+
+    labels: List[str]
+    intersections: Dict[FrozenSet[str], int]
+    totals: Dict[str, int]
+
+    def count(self, *labels: str) -> int:
+        """Elements belonging to *exactly* this label combination."""
+        return self.intersections.get(frozenset(labels), 0)
+
+    def shared_by_all(self) -> int:
+        """Elements present in every set (the paper found exactly 2)."""
+        return self.intersections.get(frozenset(self.labels), 0)
+
+    def unique_counts(self) -> Dict[str, int]:
+        """Per-set exclusive counts (elements in exactly one set)."""
+        return {lab: self.intersections.get(frozenset([lab]), 0) for lab in self.labels}
+
+    def pairwise_shared(self) -> Dict[Tuple[str, str], int]:
+        """For every label pair, elements in *both* sets (inclusive --
+        the statistic behind "the two highest depth datasets shared
+        the most variants for any pair")."""
+        out: Dict[Tuple[str, str], int] = {}
+        for i, a in enumerate(self.labels):
+            for b in self.labels[i + 1 :]:
+                total = 0
+                for pattern, count in self.intersections.items():
+                    if a in pattern and b in pattern:
+                        total += count
+                out[(a, b)] = total
+        return out
+
+
+def compute_upset(sets: Mapping[str, Iterable[Hashable]]) -> UpsetResult:
+    """Compute the exclusive-intersection structure of named sets.
+
+    Raises:
+        ValueError: on an empty mapping.
+    """
+    if not sets:
+        raise ValueError("need at least one set")
+    materialised = {label: set(items) for label, items in sets.items()}
+    labels = list(materialised)
+    membership: Dict[Hashable, FrozenSet[str]] = {}
+    for label, items in materialised.items():
+        for item in items:
+            membership[item] = membership.get(item, frozenset()) | {label}
+    intersections: Dict[FrozenSet[str], int] = {}
+    for pattern in membership.values():
+        intersections[pattern] = intersections.get(pattern, 0) + 1
+    totals = {label: len(items) for label, items in materialised.items()}
+    return UpsetResult(labels=labels, intersections=intersections, totals=totals)
+
+
+def render_upset(result: UpsetResult, *, max_bar: int = 40) -> str:
+    """Render an :class:`UpsetResult` as an ASCII upset plot.
+
+    Columns (intersection patterns) are sorted by descending count;
+    rows are the input sets; ``x`` marks membership.  A per-set totals
+    block follows (the paper's bottom-left bar chart).
+    """
+    patterns = sorted(
+        result.intersections.items(), key=lambda kv: (-kv[1], sorted(kv[0]))
+    )
+    if not patterns:
+        return "(no elements)"
+    peak = max(count for _, count in patterns)
+    scale = max_bar / peak if peak > 0 else 1.0
+
+    label_w = max(len(lab) for lab in result.labels)
+    lines: List[str] = []
+    lines.append("Exclusive intersections (columns sorted by size):")
+    for lab in result.labels:
+        row = [("x" if lab in pattern else ".") for pattern, _ in patterns]
+        lines.append(f"  {lab.rjust(label_w)}  " + " ".join(row))
+    counts_row = [str(count) for _, count in patterns]
+    lines.append("  " + " " * label_w + "  " + " ".join(counts_row))
+    lines.append("")
+    lines.append("Intersection sizes:")
+    for pattern, count in patterns:
+        names = "&".join(sorted(pattern))
+        bar = "#" * max(1, int(round(count * scale)))
+        lines.append(f"  {count:6d} {bar}  [{names}]")
+    lines.append("")
+    lines.append("Set totals:")
+    peak_total = max(result.totals.values()) or 1
+    for lab in result.labels:
+        total = result.totals[lab]
+        bar = "#" * max(1, int(round(total / peak_total * max_bar)))
+        lines.append(f"  {lab.rjust(label_w)} {total:6d} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Cache behaviour modelling (the Discussion's cache-miss claims).
+
+The paper attributes much of the improved version's speedup to cache
+behaviour: the exact DP repeatedly sweeps an O(d) array that stops
+fitting in cache around d > 1e5 ("cache miss rate below 15% compared
+to over 70% originally").  Lacking hardware counters, this subpackage
+replays the two algorithms' memory access patterns through a
+set-associative LRU cache model:
+
+* :mod:`repro.cachesim.cache` -- the cache simulator.
+* :mod:`repro.cachesim.traces` -- access-trace generators for the DP
+  sweep, the Poisson approximation's single pass, and multi-threaded
+  interleavings sharing one cache.
+"""
+
+from repro.cachesim.cache import CacheStats, SetAssociativeCache
+from repro.cachesim.traces import (
+    approx_column_trace,
+    dp_column_trace,
+    interleave_traces,
+    replay,
+)
+
+__all__ = [
+    "CacheStats",
+    "SetAssociativeCache",
+    "approx_column_trace",
+    "dp_column_trace",
+    "interleave_traces",
+    "replay",
+]

@@ -1,0 +1,112 @@
+"""Memory-access traces for the two probability computations.
+
+The traces model the data layout of the C original:
+
+* **exact DP** (original LoFreq): the probability vector is a full
+  ``(d + 1)``-double array; processing read ``n`` sweeps entries
+  ``0..n`` reading and writing each (plus one read of the quality /
+  probability entry for read ``n``).  Total ~``d^2`` element accesses
+  with a sweep-to-sweep reuse distance of O(d) -- the access pattern
+  that falls off a cliff once ``8 * d`` exceeds the per-thread cache
+  share (the Discussion's d > 1e5 observation).
+* **Poisson approximation** (improved, skipped column): one streaming
+  pass over the ``d`` quality bytes to accumulate lambda -- O(d)
+  accesses, O(1) working set beyond the stream.
+
+Addresses are synthetic but layout-accurate: the probability vector,
+the quality array and per-thread copies are placed at disjoint base
+addresses.  ``interleave_traces`` merges per-thread streams
+round-robin to model threads sharing a last-level cache, which is how
+the "running in parallel spills the shared cache" claim is tested.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Sequence
+
+from repro.cachesim.cache import CacheStats, SetAssociativeCache
+
+__all__ = [
+    "dp_column_trace",
+    "approx_column_trace",
+    "interleave_traces",
+    "replay",
+]
+
+_DOUBLE = 8
+_QUAL_BYTE = 1
+#: Gap between logical allocations so they never share cache lines.
+_REGION_STRIDE = 1 << 24
+
+
+def _bases(thread: int) -> Dict[str, int]:
+    """Base addresses of one thread's allocations."""
+    base = thread * _REGION_STRIDE
+    return {
+        "probvec": base,
+        "quals": base + (_REGION_STRIDE // 2),
+    }
+
+
+def dp_column_trace(
+    d: int, *, thread: int = 0, stride_reads: int = 1
+) -> Iterator[int]:
+    """Address stream of the exact DP on a depth-``d`` column.
+
+    Args:
+        d: column depth.
+        thread: which thread's allocations to use.
+        stride_reads: subsample the outer loop (emit every n-th read's
+            sweep) to bound trace length at very large d while keeping
+            the reuse-distance structure; rates are unaffected because
+            every emitted sweep still covers the whole live prefix.
+    """
+    if d < 0:
+        raise ValueError("depth must be non-negative")
+    a = _bases(thread)
+    for n in range(0, d, stride_reads):
+        yield a["quals"] + n * _QUAL_BYTE  # p_n lookup
+        # Sweep the live prefix of the probability vector: read + write
+        # modelled as two touches of each element.
+        for k in range(n + 1):
+            addr = a["probvec"] + k * _DOUBLE
+            yield addr
+            yield addr
+
+
+def approx_column_trace(d: int, *, thread: int = 0) -> Iterator[int]:
+    """Address stream of the Poisson approximation on a depth-``d``
+    column: one pass over the quality bytes (lambda accumulates in a
+    register)."""
+    if d < 0:
+        raise ValueError("depth must be non-negative")
+    a = _bases(thread)
+    for n in range(d):
+        yield a["quals"] + n * _QUAL_BYTE
+
+
+def interleave_traces(traces: Sequence[Iterable[int]]) -> Iterator[int]:
+    """Round-robin merge of per-thread address streams (threads
+    time-sharing one cache).  Streams may have different lengths."""
+    iters = [iter(t) for t in traces]
+    while iters:
+        alive = []
+        for it in iters:
+            try:
+                yield next(it)
+                alive.append(it)
+            except StopIteration:
+                pass
+        iters = alive
+
+
+def replay(
+    trace: Iterable[int],
+    cache: SetAssociativeCache | None = None,
+    *,
+    access_size: int = 8,
+) -> CacheStats:
+    """Run a trace through a cache; returns the stats delta."""
+    c = cache or SetAssociativeCache()
+    return c.run(trace, size=access_size)

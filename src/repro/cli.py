@@ -1,0 +1,294 @@
+"""Command-line interface: ``repro-lofreq``.
+
+Subcommands mirror the original tool-chain:
+
+* ``simulate`` -- generate a synthetic sample (BAM + reference FASTA
+  + ground-truth VCF).
+* ``call`` -- call variants on a BAM (original or improved algorithm,
+  serial, OpenMP-style parallel, or the legacy buggy parallel mode
+  for demonstration).
+* ``compare`` -- concordance report between two VCFs.
+* ``upset`` -- ASCII upset plot across any number of VCFs (Figure 3).
+
+Run ``repro-lofreq <subcommand> --help`` for options, or invoke as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lofreq",
+        description="LoFreq-style low-frequency variant calling "
+        "(reproduction of Kille et al. 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="generate a synthetic dataset")
+    p_sim.add_argument("--genome-length", type=int, default=2000)
+    p_sim.add_argument("--depth", type=float, default=500.0)
+    p_sim.add_argument("--variants", type=int, default=10)
+    p_sim.add_argument("--min-freq", type=float, default=0.01)
+    p_sim.add_argument("--max-freq", type=float, default=0.10)
+    p_sim.add_argument("--read-length", type=int, default=100)
+    p_sim.add_argument(
+        "--quality-profile",
+        choices=["hiseq", "miseq", "long_read"],
+        default="hiseq",
+    )
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--out-bam", required=True)
+    p_sim.add_argument("--out-reference")
+    p_sim.add_argument("--out-truth")
+
+    p_call = sub.add_parser("call", help="call variants on a BAM")
+    p_call.add_argument("bam")
+    p_call.add_argument("--reference", required=True, help="FASTA reference")
+    p_call.add_argument("--out", required=True, help="output VCF")
+    p_call.add_argument(
+        "--algorithm",
+        choices=["improved", "original"],
+        default="improved",
+        help="improved = paper's Poisson-approximation shortcut",
+    )
+    p_call.add_argument("--alpha", type=float, default=0.05)
+    p_call.add_argument("--margin", type=float, default=0.01)
+    p_call.add_argument("--min-approx-depth", type=int, default=100)
+    p_call.add_argument("--bonferroni", type=int, default=None)
+    p_call.add_argument("--workers", type=int, default=1)
+    p_call.add_argument(
+        "--schedule", choices=["static", "dynamic", "guided"], default="dynamic"
+    )
+    p_call.add_argument(
+        "--backend", choices=["thread", "process", "serial"], default="thread"
+    )
+    p_call.add_argument("--region", default=None, help="chrom:start-end")
+    p_call.add_argument("--stats", action="store_true", help="print run stats")
+    p_call.add_argument(
+        "--legacy-parallel",
+        action="store_true",
+        help="use the legacy partition-per-process pipeline (double "
+        "dynamic filtering; reproduces the upstream inconsistency bug "
+        "-- for demonstration only)",
+    )
+
+    p_cmp = sub.add_parser("compare", help="concordance between two VCFs")
+    p_cmp.add_argument("vcf_a")
+    p_cmp.add_argument("vcf_b")
+
+    p_upset = sub.add_parser("upset", help="ASCII upset plot over VCFs")
+    p_upset.add_argument("vcfs", nargs="+")
+    p_upset.add_argument(
+        "--labels", nargs="+", default=None, help="one label per VCF"
+    )
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.io.fasta import write_fasta
+    from repro.io.vcf import VcfRecord, write_vcf
+    from repro.sim import QualityModel, ReadSimulator, random_panel, sars_cov_2_like
+
+    genome = sars_cov_2_like(length=args.genome_length, seed=args.seed)
+    panel = random_panel(
+        genome.sequence,
+        args.variants,
+        freq_range=(args.min_freq, args.max_freq),
+        seed=args.seed,
+    )
+    qm = getattr(QualityModel, args.quality_profile)()
+    simulator = ReadSimulator(
+        genome, panel, quality_model=qm, read_length=args.read_length
+    )
+    sample = simulator.simulate(args.depth, seed=args.seed)
+    n = sample.write_bam(args.out_bam)
+    print(f"wrote {n} reads ({sample.mean_depth:.0f}x) to {args.out_bam}")
+    if args.out_reference:
+        write_fasta(args.out_reference, [genome])
+        print(f"wrote reference to {args.out_reference}")
+    if args.out_truth:
+        records = [
+            VcfRecord(
+                chrom=genome.name,
+                pos=v.pos,
+                ref=v.ref,
+                alt=v.alt,
+                qual=float("nan"),
+                info={"AF": round(v.frequency, 6), "TRUTH": True},
+            )
+            for v in panel
+        ]
+        write_vcf(
+            args.out_truth,
+            records,
+            reference=[(genome.name, len(genome))],
+            source="repro-sim-truth",
+        )
+        print(f"wrote {len(records)} truth variants to {args.out_truth}")
+    return 0
+
+
+def _cmd_call(args: argparse.Namespace) -> int:
+    from repro.core import CallerConfig, VariantCaller
+    from repro.io.fasta import load_reference
+    from repro.io.regions import parse_region
+    from repro.io.vcf import write_vcf
+    from repro.io.bam import BamReader
+    from repro.parallel import ParallelCallOptions, parallel_call
+
+    references = load_reference(args.reference)
+    with BamReader(args.bam) as reader:
+        name, length = reader.header.references[0]
+    if name not in references:
+        print(f"error: BAM reference {name!r} not in {args.reference}", file=sys.stderr)
+        return 2
+    reference = references[name]
+    region = (
+        parse_region(args.region, reference_length=length)
+        if args.region
+        else None
+    )
+    kwargs = dict(
+        alpha=args.alpha,
+        approx_margin=args.margin,
+        approx_min_depth=args.min_approx_depth,
+        bonferroni=args.bonferroni,
+    )
+    config = (
+        CallerConfig.improved(**kwargs)
+        if args.algorithm == "improved"
+        else CallerConfig.original(**kwargs)
+    )
+    t0 = time.perf_counter()
+    if args.legacy_parallel:
+        print(
+            "warning: --legacy-parallel reproduces the double-filtering "
+            "bug on purpose; output depends on --workers",
+            file=sys.stderr,
+        )
+        result = _legacy_call_bam(
+            args.bam, reference, region, config, max(1, args.workers)
+        )
+    elif args.workers <= 1:
+        caller = VariantCaller(config)
+        result = caller.call_bam(args.bam, reference, region)
+    else:
+        result = parallel_call(
+            args.bam,
+            reference,
+            region,
+            config=config,
+            options=ParallelCallOptions(
+                n_workers=args.workers,
+                schedule=args.schedule,
+                backend=args.backend,
+            ),
+        )
+    elapsed = time.perf_counter() - t0
+    records = [c.to_vcf_record() for c in result.calls]
+    write_vcf(args.out, records, reference=[(name, length)])
+    print(
+        f"{len(result.passed)} PASS calls ({len(result.calls)} total) "
+        f"in {elapsed:.2f}s -> {args.out}"
+    )
+    if args.stats:
+        s = result.stats
+        print(f"columns seen      : {s.columns_seen}")
+        print(f"allele tests      : {s.tests_run}")
+        print(f"approx first-pass : {s.approx_invocations}")
+        print(f"exact DP skipped  : {s.exact_skipped} ({s.skip_fraction():.1%})")
+        print(f"DP steps          : {s.dp_steps}")
+        for k, v in sorted(s.decisions.items()):
+            print(f"  decision {k:<22}: {v}")
+    return 0
+
+
+def _legacy_call_bam(bam_path, reference, region, config, n_partitions):
+    """Run the legacy wrapper pipeline over a BAM file by streaming it
+    through the pileup per partition (demonstration path)."""
+    from repro.core.caller import VariantCaller
+    from repro.core.filters import DynamicFilterPolicy, apply_filters
+    from repro.core.results import CallResult, RunStats, VariantCall
+    from repro.io.bam import BamReader
+    from repro.io.regions import Region
+    from repro.parallel.partition import partition_region
+
+    policy = DynamicFilterPolicy()
+    if region is None:
+        with BamReader(bam_path) as reader:
+            name, length = reader.header.references[0]
+        region = Region(name, 0, length)
+    partitions = partition_region(region, n_partitions)
+    merged_stats = RunStats()
+    survivors = []
+    for part in partitions:
+        caller = VariantCaller(config, filter_policy=None)
+        result = caller.call_bam(
+            bam_path, reference, part, apply_filters=False
+        )
+        merged_stats.merge(result.stats)
+        filtered = apply_filters(result.calls, policy.fit(result.calls))
+        survivors.extend(c for c in filtered if c.filter == "PASS")
+    survivors.sort(key=lambda c: (c.chrom, c.pos, c.alt))
+    final = apply_filters(survivors, policy.fit(survivors))
+    return CallResult(calls=final, stats=merged_stats)
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis import compare_call_sets
+    from repro.io.vcf import read_vcf
+
+    def keys(path: str):
+        _, records = read_vcf(path)
+        return {
+            (r.chrom, r.pos, r.ref, r.alt)
+            for r in records
+            if r.filter in ("PASS", ".")
+        }
+
+    report = compare_call_sets(keys(args.vcf_a), keys(args.vcf_b))
+    print(report.summary(args.vcf_a, args.vcf_b))
+    return 0 if report.identical else 1
+
+
+def _cmd_upset(args: argparse.Namespace) -> int:
+    from repro.analysis import compute_upset, render_upset
+    from repro.io.vcf import read_vcf
+
+    labels = args.labels or args.vcfs
+    if len(labels) != len(args.vcfs):
+        print("error: --labels count must match VCF count", file=sys.stderr)
+        return 2
+    sets = {}
+    for label, path in zip(labels, args.vcfs):
+        _, records = read_vcf(path)
+        sets[label] = {
+            (r.chrom, r.pos, r.ref, r.alt)
+            for r in records
+            if r.filter in ("PASS", ".")
+        }
+    print(render_upset(compute_upset(sets)))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "call": _cmd_call,
+        "compare": _cmd_compare,
+        "upset": _cmd_upset,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,157 @@
+"""The variant caller: LoFreq's column loop with the paper's shortcut.
+
+:class:`VariantCaller` drives the Figure 1b workflow over a stream of
+pileup columns, from whichever substrate provides them:
+
+* :meth:`call_columns` -- pre-built columns (the parallel runtime and
+  unit tests feed this directly);
+* :meth:`call_reads` -- coordinate-sorted reads through the streaming
+  pileup engine;
+* :meth:`call_sample` -- a simulated sample through the vectorised
+  pileup (the benchmark path);
+* :meth:`call_bam` -- a BAM file on disk.
+
+The caller itself is deliberately single-threaded; parallel operation
+is the job of :mod:`repro.parallel`, mirroring the paper's separation
+of the algorithm from its OpenMP driver.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Iterator, List, Optional
+
+from repro.core.config import CallerConfig
+from repro.core.filters import DynamicFilterPolicy, filter_once
+from repro.core.results import CallResult, RunStats, VariantCall
+from repro.core.workflow import evaluate_column
+from repro.io.records import AlignedRead
+from repro.io.regions import Region
+from repro.pileup.column import PileupColumn
+from repro.pileup.engine import PileupConfig, pileup
+
+__all__ = ["VariantCaller"]
+
+
+class VariantCaller:
+    """Quality-aware low-frequency SNV caller.
+
+    Args:
+        config: workflow parameters; defaults to the improved preset
+            (the paper's version).  Use ``CallerConfig.original()``
+            for the pre-paper behaviour.
+        pileup_config: pileup filtering parameters.
+        filter_policy: post-call filter policy applied by
+            :meth:`finalise`; ``None`` disables post-filtering (raw
+            significance calls only).
+    """
+
+    def __init__(
+        self,
+        config: Optional[CallerConfig] = None,
+        *,
+        pileup_config: Optional[PileupConfig] = None,
+        filter_policy: Optional[DynamicFilterPolicy] = DynamicFilterPolicy(),
+    ) -> None:
+        self.config = config or CallerConfig.improved()
+        self.pileup_config = pileup_config or PileupConfig()
+        self.filter_policy = filter_policy
+
+    # -- core loop -----------------------------------------------------------
+
+    def call_columns(
+        self,
+        columns: Iterable[PileupColumn],
+        region_length: int,
+        *,
+        apply_filters: bool = True,
+    ) -> CallResult:
+        """Run the workflow over pre-built pileup columns.
+
+        Args:
+            columns: pileup columns, any order (calls are re-sorted).
+            region_length: Bonferroni scope -- the number of reference
+                positions this run is responsible for.
+            apply_filters: run the post-call filter stage (disable when
+                a parallel driver will filter the merged set once, the
+                paper's OpenMP fix).
+        """
+        stats = RunStats()
+        corrected_alpha = self.config.corrected_alpha(region_length)
+        calls: List[VariantCall] = []
+        t0 = time.perf_counter()
+        for column in columns:
+            t_col = time.perf_counter()
+            calls.extend(
+                evaluate_column(column, corrected_alpha, self.config, stats)
+            )
+            stats.time_stats += time.perf_counter() - t_col
+        stats.time_total = time.perf_counter() - t0
+        calls.sort(key=lambda c: (c.chrom, c.pos, c.alt))
+        result = CallResult(calls=calls, stats=stats)
+        if apply_filters:
+            result = self.finalise(result)
+        return result
+
+    def finalise(self, result: CallResult) -> CallResult:
+        """Apply the (single-stage) post-call filter to a result."""
+        if self.filter_policy is None:
+            return result
+        result.calls = filter_once(result.calls, self.filter_policy)
+        return result
+
+    # -- substrate adapters ----------------------------------------------------
+
+    def call_reads(
+        self,
+        reads: Iterable[AlignedRead],
+        reference: str,
+        region: Region,
+        *,
+        apply_filters: bool = True,
+    ) -> CallResult:
+        """Call over coordinate-sorted reads via the streaming pileup."""
+        columns = pileup(reads, reference, region, self.pileup_config)
+        return self.call_columns(
+            columns, len(region), apply_filters=apply_filters
+        )
+
+    def call_sample(
+        self,
+        sample,
+        region: Optional[Region] = None,
+        *,
+        apply_filters: bool = True,
+    ) -> CallResult:
+        """Call a :class:`~repro.sim.reads.SimulatedSample` via the
+        vectorised pileup (the benchmark fast path)."""
+        from repro.pileup.vectorized import pileup_sample
+
+        if region is None:
+            region = Region(sample.genome.name, 0, len(sample.genome))
+        columns = pileup_sample(sample, region, self.pileup_config)
+        return self.call_columns(
+            columns, len(region), apply_filters=apply_filters
+        )
+
+    def call_bam(
+        self,
+        bam_path,
+        reference: str,
+        region: Optional[Region] = None,
+        *,
+        apply_filters: bool = True,
+    ) -> CallResult:
+        """Call over a BAM file on disk."""
+        from repro.io.bam import BamReader
+
+        with BamReader(bam_path) as reader:
+            if region is None:
+                name, length = reader.header.references[0]
+                region = Region(name, 0, length)
+            columns = pileup(
+                iter(reader), reference, region, self.pileup_config
+            )
+            return self.call_columns(
+                columns, len(region), apply_filters=apply_filters
+            )

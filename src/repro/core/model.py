@@ -1,0 +1,61 @@
+"""The quality-aware error model.
+
+LoFreq's null hypothesis at a column: every read independently miscalls
+with the probability its base quality implies.  For a *specific*
+alternate allele the miscall must also hit that base, which under the
+uniform-miscall assumption divides the probability by three.  So for
+alt allele ``a``::
+
+    p_i(a) = 10**(-Q_i / 10) / 3
+
+and the count of reads showing ``a`` is Poisson-binomial with those
+probabilities.  This per-allele formulation is LoFreq's (each position
+gets up to three tests, hence the 3x Bonferroni factor); the paper's
+Section II-A describes the same computation with all mismatches pooled,
+which coincides with this when a single alternate allele dominates --
+the regime low-frequency SNVs live in.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.pileup.column import PileupColumn
+
+__all__ = ["allele_error_probabilities", "candidate_alleles"]
+
+#: A miscall lands on one specific wrong base 1/3 of the time.
+MISCALL_FRACTION = 1.0 / 3.0
+
+
+def allele_error_probabilities(
+    column: PileupColumn, *, merge_mapq: bool = False
+) -> np.ndarray:
+    """Per-read probabilities of erroneously showing one given alt base.
+
+    Returns the full-depth vector ``p_i / 3``; the same vector serves
+    every alternate allele at the column (the quality string does not
+    depend on which wrong base a read would produce).
+    """
+    return column.error_probabilities(merge_mapq=merge_mapq) * MISCALL_FRACTION
+
+
+def candidate_alleles(column: PileupColumn) -> List[Tuple[int, int]]:
+    """Alternate alleles worth testing at a column.
+
+    Returns ``(code, count)`` for every non-reference, non-N base
+    present in the column, ordered by descending count (the dominant
+    alternate first, so early-exit consumers handle the common
+    single-alt case cheaply).
+    """
+    counts = column.base_counts()
+    ref = column.ref_code
+    out = [
+        (code, int(counts[code]))
+        for code in range(4)  # A, C, G, T -- N (4) never tested
+        if code != ref and counts[code] > 0
+    ]
+    out.sort(key=lambda t: -t[1])
+    return out

@@ -1,0 +1,161 @@
+"""Call records and run statistics.
+
+:class:`VariantCall` is the caller's output unit (one SNV), converting
+losslessly to the VCF dialect in :mod:`repro.io.vcf`.
+:class:`RunStats` captures the operational counters behind every
+claim in the paper: how many columns took which decision path
+(Figure 1b census), how many DP steps ran (the work Table I's speedups
+come from), and coarse stage timings (Figure 2's categories).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.io.vcf import VcfRecord
+
+__all__ = ["VariantCall", "RunStats", "ColumnDecision", "CallResult"]
+
+
+class ColumnDecision(enum.Enum):
+    """Terminal state of one allele test in the Figure 1b workflow."""
+
+    LOW_COVERAGE = "low_coverage"
+    NO_CANDIDATE = "no_candidate"
+    SKIPPED_APPROX = "skipped_approx"
+    EXACT_PRUNED = "exact_pruned"
+    EXACT_NOT_SIGNIFICANT = "exact_not_significant"
+    CALLED = "called"
+    REJECTED_FILTER = "rejected_filter"
+
+
+@dataclasses.dataclass
+class VariantCall:
+    """One called single-nucleotide variant.
+
+    Attributes:
+        chrom/pos/ref/alt: variant identity (pos is 0-based).
+        pvalue: raw Poisson-binomial tail p-value.
+        corrected_pvalue: Bonferroni-corrected p-value (capped at 1).
+        depth: column depth after pileup filters.
+        alt_count: reads supporting the alternate allele.
+        af: alternate allele frequency ``alt_count / depth``.
+        dp4: (ref-fwd, ref-rev, alt-fwd, alt-rev) strand counts.
+        strand_bias: Phred-scaled Fisher strand-bias score.
+        filter: filter status; ``PASS`` or semicolon-joined failures.
+        used_exact: True when the exact DP produced ``pvalue`` (always
+            true for calls -- the approximation can only skip).
+    """
+
+    chrom: str
+    pos: int
+    ref: str
+    alt: str
+    pvalue: float
+    corrected_pvalue: float
+    depth: int
+    alt_count: int
+    af: float
+    dp4: Tuple[int, int, int, int]
+    strand_bias: float
+    filter: str = "PASS"
+    used_exact: bool = True
+
+    @property
+    def key(self) -> Tuple[str, int, str, str]:
+        """Variant identity for set algebra."""
+        return (self.chrom, self.pos, self.ref, self.alt)
+
+    @property
+    def quality(self) -> float:
+        """VCF QUAL: ``-10 log10`` of the raw p-value (capped)."""
+        if self.pvalue <= 0.0:
+            return 3000.0
+        return min(3000.0, -10.0 * math.log10(self.pvalue))
+
+    def to_vcf_record(self) -> VcfRecord:
+        return VcfRecord(
+            chrom=self.chrom,
+            pos=self.pos,
+            ref=self.ref,
+            alt=self.alt,
+            qual=self.quality,
+            filter=self.filter,
+            info={
+                "DP": self.depth,
+                "AF": round(self.af, 6),
+                "SB": int(round(self.strand_bias)),
+                "DP4": self.dp4,
+            },
+        )
+
+
+@dataclasses.dataclass
+class RunStats:
+    """Operational counters for one calling run.
+
+    All counters are additive so partial results from parallel workers
+    merge with :meth:`merge`.
+    """
+
+    columns_seen: int = 0
+    tests_run: int = 0
+    decisions: Dict[str, int] = dataclasses.field(default_factory=dict)
+    dp_steps: int = 0
+    dp_invocations: int = 0
+    approx_invocations: int = 0
+    exact_skipped: int = 0
+    time_pileup: float = 0.0
+    time_stats: float = 0.0
+    time_total: float = 0.0
+
+    def record_decision(self, decision: ColumnDecision) -> None:
+        self.decisions[decision.value] = self.decisions.get(decision.value, 0) + 1
+
+    def merge(self, other: "RunStats") -> "RunStats":
+        """Accumulate another worker's counters into this one."""
+        self.columns_seen += other.columns_seen
+        self.tests_run += other.tests_run
+        self.dp_steps += other.dp_steps
+        self.dp_invocations += other.dp_invocations
+        self.approx_invocations += other.approx_invocations
+        self.exact_skipped += other.exact_skipped
+        self.time_pileup += other.time_pileup
+        self.time_stats += other.time_stats
+        self.time_total += other.time_total
+        for k, v in other.decisions.items():
+            self.decisions[k] = self.decisions.get(k, 0) + v
+        return self
+
+    def skip_fraction(self) -> float:
+        """Fraction of run tests resolved by the approximation alone."""
+        if self.tests_run == 0:
+            return 0.0
+        return self.exact_skipped / self.tests_run
+
+
+@dataclasses.dataclass
+class CallResult:
+    """Output of a calling run: the calls plus operational stats."""
+
+    calls: List[VariantCall]
+    stats: RunStats
+
+    @property
+    def passed(self) -> List[VariantCall]:
+        """Calls whose filter field is PASS."""
+        return [c for c in self.calls if c.filter == "PASS"]
+
+    def keys(self) -> set:
+        """PASS variant identity set (for concordance / upset work)."""
+        return {c.key for c in self.passed}
+
+    def merge(self, other: "CallResult") -> "CallResult":
+        """Concatenate calls (re-sorted by position) and merge stats."""
+        merged = sorted(self.calls + other.calls, key=lambda c: (c.chrom, c.pos))
+        self.calls = merged
+        self.stats.merge(other.stats)
+        return self

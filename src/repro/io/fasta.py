@@ -1,0 +1,107 @@
+"""FASTA reading and writing.
+
+The reference genome enters the pipeline through this module.  Records
+are simple ``(name, description, sequence)`` triples; sequences are
+uppercased on read so downstream base comparisons are case-insensitive.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import os
+from typing import Dict, Iterable, Iterator, List, TextIO, Union
+
+__all__ = ["FastaRecord", "read_fasta", "write_fasta", "load_reference"]
+
+PathOrFile = Union[str, os.PathLike, TextIO]
+
+
+@dataclasses.dataclass(frozen=True)
+class FastaRecord:
+    """One FASTA entry.
+
+    Attributes:
+        name: the first whitespace-delimited token after ``>``.
+        description: the remainder of the defline (may be empty).
+        sequence: uppercase sequence with whitespace removed.
+    """
+
+    name: str
+    description: str
+    sequence: str
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+def _open_text(source: PathOrFile, mode: str) -> tuple[TextIO, bool]:
+    if hasattr(source, "read") or hasattr(source, "write"):
+        return source, False  # type: ignore[return-value]
+    return open(source, mode), True
+
+
+def read_fasta(source: PathOrFile) -> Iterator[FastaRecord]:
+    """Iterate :class:`FastaRecord` objects from a path or text handle.
+
+    Raises:
+        ValueError: if sequence data precedes the first ``>`` defline.
+    """
+    handle, owned = _open_text(source, "r")
+    try:
+        name: str | None = None
+        desc = ""
+        chunks: List[str] = []
+        for raw in handle:
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                if name is not None:
+                    yield FastaRecord(name, desc, "".join(chunks).upper())
+                parts = line[1:].split(maxsplit=1)
+                name = parts[0] if parts else ""
+                desc = parts[1] if len(parts) > 1 else ""
+                chunks = []
+            else:
+                if name is None:
+                    raise ValueError("FASTA data before first '>' defline")
+                chunks.append(line)
+        if name is not None:
+            yield FastaRecord(name, desc, "".join(chunks).upper())
+    finally:
+        if owned:
+            handle.close()
+
+
+def write_fasta(
+    dest: PathOrFile, records: Iterable[FastaRecord], width: int = 70
+) -> None:
+    """Write records, wrapping sequence lines at ``width`` columns."""
+    handle, owned = _open_text(dest, "w")
+    try:
+        for rec in records:
+            defline = f">{rec.name}"
+            if rec.description:
+                defline += f" {rec.description}"
+            handle.write(defline + "\n")
+            seq = rec.sequence
+            for i in range(0, len(seq), width):
+                handle.write(seq[i : i + width] + "\n")
+    finally:
+        if owned:
+            handle.close()
+
+
+def load_reference(source: PathOrFile) -> Dict[str, str]:
+    """Load a FASTA file into ``{name: sequence}``.
+
+    Raises:
+        ValueError: on duplicate sequence names.
+    """
+    out: Dict[str, str] = {}
+    for rec in read_fasta(source):
+        if rec.name in out:
+            raise ValueError(f"duplicate FASTA record {rec.name!r}")
+        out[rec.name] = rec.sequence
+    return out

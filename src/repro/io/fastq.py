@@ -1,0 +1,127 @@
+"""FASTQ reading and writing.
+
+Qualities are converted between the Phred+33 ASCII encoding used on
+disk and the ``numpy.uint8`` Phred arrays used everywhere in memory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Iterable, Iterator, TextIO, Union
+
+import numpy as np
+
+__all__ = [
+    "FastqRecord",
+    "read_fastq",
+    "write_fastq",
+    "phred_to_ascii",
+    "ascii_to_phred",
+]
+
+PathOrFile = Union[str, os.PathLike, TextIO]
+
+PHRED_OFFSET = 33
+#: SAM caps stored qualities at 93 so they stay printable ASCII.
+MAX_PHRED = 93
+
+
+def phred_to_ascii(qual: np.ndarray) -> str:
+    """Encode a Phred array as a Phred+33 ASCII string.
+
+    Raises:
+        ValueError: if any quality exceeds :data:`MAX_PHRED`.
+    """
+    q = np.asarray(qual, dtype=np.int64)
+    if q.size and (q.min() < 0 or q.max() > MAX_PHRED):
+        raise ValueError(f"Phred scores must be in [0, {MAX_PHRED}]")
+    return (q + PHRED_OFFSET).astype(np.uint8).tobytes().decode("ascii")
+
+
+def ascii_to_phred(text: str) -> np.ndarray:
+    """Decode a Phred+33 ASCII string into a ``uint8`` Phred array.
+
+    Raises:
+        ValueError: on characters outside the printable Phred+33 range.
+    """
+    raw = np.frombuffer(text.encode("ascii"), dtype=np.uint8)
+    if raw.size and (raw.min() < PHRED_OFFSET or raw.max() > PHRED_OFFSET + MAX_PHRED):
+        raise ValueError("quality string contains non-Phred+33 characters")
+    return (raw - PHRED_OFFSET).astype(np.uint8)
+
+
+@dataclasses.dataclass
+class FastqRecord:
+    """One FASTQ entry: name, sequence and Phred quality array."""
+
+    name: str
+    sequence: str
+    quality: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.quality = np.asarray(self.quality, dtype=np.uint8)
+        if len(self.sequence) != len(self.quality):
+            raise ValueError(
+                f"sequence length {len(self.sequence)} != "
+                f"quality length {len(self.quality)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+    @property
+    def error_probabilities(self) -> np.ndarray:
+        """Per-base error probabilities ``10**(-Q/10)`` as float64."""
+        return np.power(10.0, -self.quality.astype(np.float64) / 10.0)
+
+
+def _open_text(source: PathOrFile, mode: str) -> tuple[TextIO, bool]:
+    if hasattr(source, "read") or hasattr(source, "write"):
+        return source, False  # type: ignore[return-value]
+    return open(source, mode), True
+
+
+def read_fastq(source: PathOrFile) -> Iterator[FastqRecord]:
+    """Iterate FASTQ records from a path or text handle.
+
+    Raises:
+        ValueError: on structural errors (truncated record, missing
+            ``@``/``+`` markers, seq/qual length mismatch).
+    """
+    handle, owned = _open_text(source, "r")
+    try:
+        while True:
+            header = handle.readline()
+            if not header:
+                return
+            header = header.rstrip("\n")
+            if not header:
+                continue
+            if not header.startswith("@"):
+                raise ValueError(f"expected '@' defline, got {header!r}")
+            seq = handle.readline().rstrip("\n")
+            plus = handle.readline().rstrip("\n")
+            qual = handle.readline().rstrip("\n")
+            if not qual and len(seq) > 0:
+                raise ValueError(f"truncated FASTQ record {header!r}")
+            if not plus.startswith("+"):
+                raise ValueError(f"expected '+' separator in {header!r}")
+            name = header[1:].split()[0] if len(header) > 1 else ""
+            yield FastqRecord(name, seq.upper(), ascii_to_phred(qual))
+    finally:
+        if owned:
+            handle.close()
+
+
+def write_fastq(dest: PathOrFile, records: Iterable[FastqRecord]) -> None:
+    """Write FASTQ records to a path or text handle."""
+    handle, owned = _open_text(dest, "w")
+    try:
+        for rec in records:
+            handle.write(
+                f"@{rec.name}\n{rec.sequence}\n+\n{phred_to_ascii(rec.quality)}\n"
+            )
+    finally:
+        if owned:
+            handle.close()

@@ -1,0 +1,133 @@
+"""A linear BAM index: position -> virtual offset.
+
+htslib's BAI index lets readers jump to a genomic region without
+scanning; the parallel runtime needs the same capability so each
+worker thread can seek its own :class:`~repro.io.bam.BamReader`
+straight to its chunk ("an independent .bam file reader for each
+thread", paper Section II-B).  The full binning scheme is unnecessary
+for the single short contig this pipeline targets, so the index is
+linear: every ``granularity``-th record contributes a
+``(position, virtual offset, read end)`` checkpoint.
+
+The sidecar file format is a small binary table (magic, granularity,
+max read span, then packed int64 triples).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from typing import List, Tuple
+
+from repro.io.bam import BamReader
+
+__all__ = ["LinearIndex", "build_index"]
+
+_MAGIC = b"RLI1"
+
+
+@dataclasses.dataclass
+class LinearIndex:
+    """Checkpoints into a coordinate-sorted BAM.
+
+    Attributes:
+        checkpoints: ``(pos, voffset)`` pairs, non-decreasing in both.
+        max_read_span: the longest reference span of any record; a
+            query for position ``p`` must start no later than the
+            first read at ``p - max_read_span + 1`` to catch every
+            overlapping read.
+    """
+
+    checkpoints: List[Tuple[int, int]]
+    max_read_span: int
+    data_start: int
+
+    def query(self, pos: int) -> int:
+        """Virtual offset from which a scan is guaranteed to see every
+        read overlapping position ``pos``.  Falls back to the first
+        alignment record (never the raw file start, which would land a
+        reader on the BAM header)."""
+        target = pos - self.max_read_span + 1
+        best = self.data_start
+        for cp_pos, voffset in self.checkpoints:
+            if cp_pos <= target:
+                best = voffset
+            else:
+                break
+        return best
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path) -> None:
+        with open(path, "wb") as fh:
+            fh.write(_MAGIC)
+            fh.write(
+                struct.pack(
+                    "<qqq",
+                    self.max_read_span,
+                    self.data_start,
+                    len(self.checkpoints),
+                )
+            )
+            for pos, voffset in self.checkpoints:
+                fh.write(struct.pack("<qq", pos, voffset))
+
+    @classmethod
+    def load(cls, path) -> "LinearIndex":
+        """Load a sidecar index.
+
+        Raises:
+            ValueError: if the file is not a linear index.
+        """
+        with open(path, "rb") as fh:
+            magic = fh.read(4)
+            if magic != _MAGIC:
+                raise ValueError(f"not a linear index (magic {magic!r})")
+            max_span, data_start, n = struct.unpack("<qqq", fh.read(24))
+            cps = []
+            for _ in range(n):
+                cps.append(struct.unpack("<qq", fh.read(16)))
+        return cls(
+            checkpoints=cps, max_read_span=max_span, data_start=data_start
+        )
+
+
+def build_index(bam_path, granularity: int = 256) -> LinearIndex:
+    """Scan a BAM once and build its linear index.
+
+    Args:
+        bam_path: coordinate-sorted BAM file.
+        granularity: records between checkpoints (smaller = bigger
+            index, finer seeks).
+
+    Raises:
+        ValueError: if the BAM is not coordinate-sorted.
+    """
+    if granularity <= 0:
+        raise ValueError(f"granularity must be positive, got {granularity}")
+    checkpoints: List[Tuple[int, int]] = []
+    max_span = 1
+    last_pos = -1
+    with BamReader(bam_path) as reader:
+        data_start = reader.tell()
+        i = 0
+        while True:
+            voffset = reader.tell()
+            record = reader.read_record()
+            if record is None:
+                break
+            if record.pos < last_pos:
+                raise ValueError(
+                    "cannot index an unsorted BAM "
+                    f"({record.qname} at {record.pos} after {last_pos})"
+                )
+            last_pos = record.pos
+            span = record.reference_end - record.pos
+            if span > max_span:
+                max_span = span
+            if i % granularity == 0:
+                checkpoints.append((record.pos, voffset))
+            i += 1
+    return LinearIndex(
+        checkpoints=checkpoints, max_read_span=max_span, data_start=data_start
+    )

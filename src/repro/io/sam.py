@@ -1,0 +1,193 @@
+"""SAM text format reading and writing.
+
+SAM is the tab-separated text twin of BAM.  The codec here converts
+between on-disk 1-based coordinates and the 0-based
+:class:`~repro.io.records.AlignedRead` model, and round-trips the
+optional-tag subset used by the pipeline (``A c C s S i I f Z`` plus
+``B``-arrays).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Iterable, Iterator, TextIO, Tuple, Union
+
+import numpy as np
+
+from repro.io.cigar import cigar_to_string, parse_cigar
+from repro.io.fastq import ascii_to_phred, phred_to_ascii
+from repro.io.records import AlignedRead, SamHeader
+
+__all__ = ["read_sam", "write_sam", "format_record", "parse_record"]
+
+PathOrFile = Union[str, os.PathLike, TextIO]
+
+_TAG_CASTS = {
+    "A": str,
+    "i": int,
+    "f": float,
+    "Z": str,
+    "H": str,
+}
+
+_B_DTYPES = {
+    "c": np.int8,
+    "C": np.uint8,
+    "s": np.int16,
+    "S": np.uint16,
+    "i": np.int32,
+    "I": np.uint32,
+    "f": np.float32,
+}
+
+
+def _open_text(source: PathOrFile, mode: str) -> tuple[TextIO, bool]:
+    if hasattr(source, "read") or hasattr(source, "write"):
+        return source, False  # type: ignore[return-value]
+    return open(source, mode), True
+
+
+def parse_record(line: str) -> AlignedRead:
+    """Parse one SAM alignment line into an :class:`AlignedRead`.
+
+    Raises:
+        ValueError: if the line has fewer than the 11 mandatory fields
+            or carries a malformed optional tag.
+    """
+    fields = line.rstrip("\n").split("\t")
+    if len(fields) < 11:
+        raise ValueError(f"SAM line has {len(fields)} fields, expected >= 11")
+    (
+        qname,
+        flag_s,
+        rname,
+        pos_s,
+        mapq_s,
+        cigar_s,
+        rnext,
+        pnext_s,
+        tlen_s,
+        seq,
+        qual_s,
+    ) = fields[:11]
+    seq = "" if seq == "*" else seq.upper()
+    if qual_s == "*":
+        qual = np.zeros(len(seq), dtype=np.uint8)
+    else:
+        qual = ascii_to_phred(qual_s)
+    tags: dict[str, Tuple[str, Any]] = {}
+    for tag_field in fields[11:]:
+        parts = tag_field.split(":", 2)
+        if len(parts) != 3:
+            raise ValueError(f"malformed SAM tag {tag_field!r}")
+        tag, typ, value = parts
+        if typ == "B":
+            sub = value[0]
+            if sub not in _B_DTYPES:
+                raise ValueError(f"unsupported B-array subtype {sub!r}")
+            items = value[1:].lstrip(",")
+            arr = np.array(
+                [float(x) if sub == "f" else int(x) for x in items.split(",")]
+                if items
+                else [],
+                dtype=_B_DTYPES[sub],
+            )
+            tags[tag] = ("B", (sub, arr))
+        elif typ in _TAG_CASTS:
+            tags[tag] = (typ, _TAG_CASTS[typ](value))
+        else:
+            raise ValueError(f"unsupported SAM tag type {typ!r}")
+    return AlignedRead(
+        qname=qname,
+        flag=int(flag_s),
+        rname=rname,
+        pos=int(pos_s) - 1,
+        mapq=int(mapq_s),
+        cigar=parse_cigar(cigar_s),
+        seq=seq,
+        qual=qual,
+        rnext=rnext,
+        pnext=int(pnext_s) - 1,
+        tlen=int(tlen_s),
+        tags=tags,
+    )
+
+
+def format_record(read: AlignedRead) -> str:
+    """Render an :class:`AlignedRead` as one SAM line (no newline)."""
+    qual_s = phred_to_ascii(read.qual) if len(read.qual) else "*"
+    fields = [
+        read.qname,
+        str(read.flag),
+        read.rname,
+        str(read.pos + 1),
+        str(read.mapq),
+        cigar_to_string(read.cigar),
+        read.rnext,
+        str(read.pnext + 1),
+        str(read.tlen),
+        read.seq if read.seq else "*",
+        qual_s,
+    ]
+    for tag, (typ, value) in sorted(read.tags.items()):
+        if typ == "B":
+            sub, arr = value
+            rendered = ",".join(
+                repr(float(x)) if sub == "f" else str(int(x)) for x in arr
+            )
+            fields.append(f"{tag}:B:{sub},{rendered}" if len(arr) else f"{tag}:B:{sub}")
+        elif typ == "f":
+            fields.append(f"{tag}:f:{float(value):g}")
+        elif typ in ("c", "C", "s", "S", "i", "I"):
+            fields.append(f"{tag}:i:{int(value)}")
+        else:
+            fields.append(f"{tag}:{typ}:{value}")
+    return "\t".join(fields)
+
+
+def read_sam(source: PathOrFile) -> Tuple[SamHeader, Iterator[AlignedRead]]:
+    """Read a SAM file; returns the header and a lazy record iterator.
+
+    The header is consumed eagerly; records stream.  The returned
+    iterator owns the file handle and closes it on exhaustion.
+    """
+    handle, owned = _open_text(source, "r")
+    header_lines = []
+    first_record: str | None = None
+    for line in handle:
+        if line.startswith("@"):
+            header_lines.append(line)
+        else:
+            first_record = line
+            break
+    header = SamHeader.from_text("".join(header_lines))
+
+    def _iter() -> Iterator[AlignedRead]:
+        try:
+            if first_record is not None and first_record.strip():
+                yield parse_record(first_record)
+            for line in handle:
+                if line.strip():
+                    yield parse_record(line)
+        finally:
+            if owned:
+                handle.close()
+
+    return header, _iter()
+
+
+def write_sam(
+    dest: PathOrFile, header: SamHeader, reads: Iterable[AlignedRead]
+) -> int:
+    """Write header + records as SAM text.  Returns the record count."""
+    handle, owned = _open_text(dest, "w")
+    n = 0
+    try:
+        handle.write(header.to_text())
+        for read in reads:
+            handle.write(format_record(read) + "\n")
+            n += 1
+    finally:
+        if owned:
+            handle.close()
+    return n

@@ -1,0 +1,205 @@
+"""VCF 4.2 output for variant calls (LoFreq-style).
+
+LoFreq writes SNVs with ``QUAL = -10 log10(p-value)`` and INFO fields
+``DP`` (raw depth), ``AF`` (allele frequency), ``SB`` (strand-bias
+Phred score) and ``DP4`` (ref-fwd, ref-rev, alt-fwd, alt-rev counts).
+This module reproduces that dialect plus a reader good enough to
+round-trip our own output, which the analysis layer (upset plots,
+concordance) consumes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, TextIO, Tuple, Union
+
+__all__ = ["VcfRecord", "read_vcf", "write_vcf", "VCF_VERSION"]
+
+PathOrFile = Union[str, os.PathLike, TextIO]
+
+VCF_VERSION = "VCFv4.2"
+
+_INFO_HEADERS = [
+    '##INFO=<ID=DP,Number=1,Type=Integer,Description="Raw read depth">',
+    '##INFO=<ID=AF,Number=1,Type=Float,Description="Allele frequency">',
+    '##INFO=<ID=SB,Number=1,Type=Integer,Description='
+    '"Phred-scaled strand bias at this position">',
+    '##INFO=<ID=DP4,Number=4,Type=Integer,Description='
+    '"Counts for ref-forward, ref-reverse, alt-forward, alt-reverse bases">',
+    '##FILTER=<ID=PASS,Description="All filters passed">',
+]
+
+
+@dataclasses.dataclass
+class VcfRecord:
+    """One VCF data line.
+
+    Attributes:
+        chrom: reference name.
+        pos: 0-based position (the text format is 1-based).
+        ref: reference allele.
+        alt: alternate allele.
+        qual: Phred-scaled call quality, ``-10 log10(p)``.
+        filter: filter field (``PASS`` / semicolon-joined failures / ``.``).
+        info: INFO key-value mapping (values already stringified or
+            plain Python scalars / tuples).
+        id: the ID column (``.`` by default).
+    """
+
+    chrom: str
+    pos: int
+    ref: str
+    alt: str
+    qual: float
+    filter: str = "PASS"
+    info: Dict[str, object] = dataclasses.field(default_factory=dict)
+    id: str = "."
+
+    @property
+    def key(self) -> Tuple[str, int, str, str]:
+        """Identity of the variant: (chrom, pos, ref, alt)."""
+        return (self.chrom, self.pos, self.ref, self.alt)
+
+    def info_string(self) -> str:
+        if not self.info:
+            return "."
+        parts = []
+        for k, v in self.info.items():
+            if v is True:
+                parts.append(k)
+            elif isinstance(v, float):
+                parts.append(f"{k}={v:.6g}")
+            elif isinstance(v, (tuple, list)):
+                parts.append(f"{k}={','.join(str(x) for x in v)}")
+            else:
+                parts.append(f"{k}={v}")
+        return ";".join(parts)
+
+    def to_line(self) -> str:
+        qual_s = "." if math.isnan(self.qual) else f"{self.qual:.6g}"
+        return "\t".join(
+            [
+                self.chrom,
+                str(self.pos + 1),
+                self.id,
+                self.ref,
+                self.alt,
+                qual_s,
+                self.filter,
+                self.info_string(),
+            ]
+        )
+
+    @classmethod
+    def from_line(cls, line: str) -> "VcfRecord":
+        """Parse one data line.
+
+        Raises:
+            ValueError: if the line has fewer than 8 columns.
+        """
+        fields = line.rstrip("\n").split("\t")
+        if len(fields) < 8:
+            raise ValueError(f"VCF line has {len(fields)} columns, expected >= 8")
+        chrom, pos_s, id_, ref, alt, qual_s, filt, info_s = fields[:8]
+        info: Dict[str, object] = {}
+        if info_s != ".":
+            for item in info_s.split(";"):
+                if "=" in item:
+                    k, v = item.split("=", 1)
+                    if "," in v:
+                        info[k] = tuple(_parse_scalar(x) for x in v.split(","))
+                    else:
+                        info[k] = _parse_scalar(v)
+                else:
+                    info[item] = True
+        return cls(
+            chrom=chrom,
+            pos=int(pos_s) - 1,
+            id=id_,
+            ref=ref,
+            alt=alt,
+            qual=float("nan") if qual_s == "." else float(qual_s),
+            filter=filt,
+            info=info,
+        )
+
+
+def _parse_scalar(text: str) -> object:
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def _open_text(source: PathOrFile, mode: str) -> tuple[TextIO, bool]:
+    if hasattr(source, "read") or hasattr(source, "write"):
+        return source, False  # type: ignore[return-value]
+    return open(source, mode), True
+
+
+def write_vcf(
+    dest: PathOrFile,
+    records: Iterable[VcfRecord],
+    *,
+    reference: Optional[Sequence[Tuple[str, int]]] = None,
+    source: str = "repro-lofreq",
+    extra_headers: Optional[Sequence[str]] = None,
+) -> int:
+    """Write a VCF file; returns the number of records written."""
+    handle, owned = _open_text(dest, "w")
+    n = 0
+    try:
+        handle.write(f"##fileformat={VCF_VERSION}\n")
+        handle.write(f"##source={source}\n")
+        if reference:
+            for name, length in reference:
+                handle.write(f"##contig=<ID={name},length={length}>\n")
+        for line in _INFO_HEADERS:
+            handle.write(line + "\n")
+        for line in extra_headers or ():
+            handle.write(line + "\n")
+        handle.write(
+            "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\n"
+        )
+        for rec in records:
+            handle.write(rec.to_line() + "\n")
+            n += 1
+    finally:
+        if owned:
+            handle.close()
+    return n
+
+
+def read_vcf(source: PathOrFile) -> Tuple[List[str], List[VcfRecord]]:
+    """Read a VCF file; returns ``(header_lines, records)``."""
+    handle, owned = _open_text(source, "r")
+    headers: List[str] = []
+    records: List[VcfRecord] = []
+    try:
+        for line in handle:
+            if line.startswith("#"):
+                headers.append(line.rstrip("\n"))
+            elif line.strip():
+                records.append(VcfRecord.from_line(line))
+    finally:
+        if owned:
+            handle.close()
+    return headers, records
+
+
+def iter_vcf(source: PathOrFile) -> Iterator[VcfRecord]:
+    """Stream records from a VCF file, skipping headers."""
+    handle, owned = _open_text(source, "r")
+    try:
+        for line in handle:
+            if not line.startswith("#") and line.strip():
+                yield VcfRecord.from_line(line)
+    finally:
+        if owned:
+            handle.close()

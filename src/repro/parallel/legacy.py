@@ -1,0 +1,131 @@
+"""The legacy wrapper-script parallel mode (and its filtering bug).
+
+Original LoFreq parallelism (``lofreq2_call_pparallel.py``): partition
+the columns equally, spawn an independent LoFreq *process* per
+partition, concatenate the per-partition VCFs, filter the result.
+Because each LoFreq process also runs its own dynamic filter stage on
+its partition, calls pass through **two** rounds of filtering with
+thresholds fitted to *different* call sets -- so the final output
+depends on how the genome was partitioned.  Sandmann et al. (2017)
+flagged the inconsistency; the paper's OpenMP reorganisation fixes it
+by moving all calling into one process with a single final filter.
+
+:func:`legacy_parallel_call` reproduces the buggy pipeline faithfully
+(including, optionally, running partitions in real processes); the
+test suite and ``benchmarks/bench_filterbug.py`` demonstrate both the
+inconsistency and that :func:`repro.parallel.openmp.parallel_call`
+does not share it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.caller import VariantCaller
+from repro.core.config import CallerConfig
+from repro.core.filters import DynamicFilterPolicy, apply_filters
+from repro.core.results import CallResult, RunStats, VariantCall
+from repro.io.regions import Region
+from repro.parallel.partition import partition_region
+from repro.pileup.engine import PileupConfig
+
+__all__ = ["legacy_parallel_call"]
+
+
+def _call_partition(
+    sample,
+    reference: str,
+    partition: Region,
+    config: CallerConfig,
+    pileup_config: Optional[PileupConfig],
+    policy: DynamicFilterPolicy,
+) -> CallResult:
+    """One 'process' of the legacy pipeline: call the partition and run
+    the dynamic filter *on the partition's own calls* (stage one of the
+    double filtering)."""
+    caller = VariantCaller(
+        config, pileup_config=pileup_config, filter_policy=None
+    )
+    # NOTE: the partition caller Bonferroni-corrects over *its own*
+    # length -- LoFreq run on a slice has no idea how big the whole
+    # genome is.  This is part of the "filter values are dynamically
+    # set during a LoFreq run" problem the paper describes.
+    result = caller.call_sample(
+        sample, region=partition, apply_filters=False
+    )
+    # Stage-one filter: thresholds fitted to this partition only.
+    thresholds = policy.fit(result.calls)
+    result.calls = apply_filters(result.calls, thresholds)
+    return result
+
+
+def legacy_parallel_call(
+    sample,
+    reference: str,
+    region: Optional[Region] = None,
+    *,
+    n_partitions: int = 4,
+    config: Optional[CallerConfig] = None,
+    pileup_config: Optional[PileupConfig] = None,
+    filter_policy: Optional[DynamicFilterPolicy] = None,
+    use_processes: bool = False,
+) -> CallResult:
+    """Run the legacy partition-and-merge pipeline, bug included.
+
+    Args:
+        sample: a :class:`~repro.sim.reads.SimulatedSample`.
+        reference: reference sequence.
+        region: scope (defaults to the whole genome).
+        n_partitions: number of equal partitions / worker processes.
+        config: caller configuration.
+        pileup_config: pileup filters.
+        filter_policy: the dynamic filter policy (fitted twice!).
+        use_processes: actually fork one process per partition, as the
+            wrapper script did; the default runs them sequentially,
+            which produces byte-identical output faster.
+
+    Returns:
+        The merged result after the second filtering stage.  Note the
+        PASS set generally differs from a single-process run -- that
+        is the bug, reproduced on purpose.
+    """
+    cfg = config or CallerConfig.improved()
+    policy = filter_policy or DynamicFilterPolicy()
+    if region is None:
+        region = Region(sample.genome.name, 0, len(sample.genome))
+    partitions = partition_region(region, n_partitions)
+
+    if use_processes:
+        import multiprocessing as mp
+
+        ctx = mp.get_context("fork")
+        with ctx.Pool(min(n_partitions, len(partitions))) as pool:
+            results = pool.starmap(
+                _call_partition,
+                [
+                    (sample, reference, part, cfg, pileup_config, policy)
+                    for part in partitions
+                ],
+            )
+    else:
+        results = [
+            _call_partition(
+                sample, reference, part, cfg, pileup_config, policy
+            )
+            for part in partitions
+        ]
+
+    # Merge: the wrapper concatenates the per-partition VCFs, keeping
+    # only their PASS records...
+    merged_stats = RunStats()
+    survivors: List[VariantCall] = []
+    for r in results:
+        merged_stats.merge(r.stats)
+        survivors.extend(c for c in r.calls if c.filter == "PASS")
+    survivors.sort(key=lambda c: (c.chrom, c.pos, c.alt))
+
+    # ... and then filters the combined file again, with thresholds
+    # re-fitted to the merged call set (stage two).
+    thresholds = policy.fit(survivors)
+    final = apply_filters(survivors, thresholds)
+    return CallResult(calls=final, stats=merged_stats)

@@ -1,0 +1,30 @@
+"""Pileup: turning sorted alignments into per-position base columns.
+
+LoFreq is a column-at-a-time caller; everything it looks at is a
+"pileup column" -- the multiset of (base, quality, strand) observed at
+one reference position across all overlapping reads.  This subpackage
+is the equivalent of ``samtools mpileup``:
+
+* :mod:`repro.pileup.column` -- the :class:`PileupColumn` value type
+  with base encoding, counting and quality->probability conversion.
+* :mod:`repro.pileup.engine` -- the streaming sweep over
+  coordinate-sorted reads, with flag/quality filtering and the depth
+  cap (LoFreq defaults to 1,000,000 -- see Table I's footnote).
+"""
+
+from repro.pileup.column import (
+    BASES,
+    BASE_TO_CODE,
+    CODE_TO_BASE,
+    PileupColumn,
+)
+from repro.pileup.engine import PileupConfig, pileup
+
+__all__ = [
+    "BASES",
+    "BASE_TO_CODE",
+    "CODE_TO_BASE",
+    "PileupColumn",
+    "PileupConfig",
+    "pileup",
+]

@@ -1,0 +1,130 @@
+"""The pileup column value type.
+
+A column stores parallel NumPy arrays (base code, base quality,
+strand, mapping quality) for every read base covering one reference
+position.  The statistics layer consumes these arrays directly, so the
+encodings are chosen for vectorised math: bases as uint8 codes 0..4,
+qualities as raw Phred uint8.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["BASES", "BASE_TO_CODE", "CODE_TO_BASE", "PileupColumn"]
+
+BASES = "ACGTN"
+BASE_TO_CODE: Dict[str, int] = {b: i for i, b in enumerate(BASES)}
+CODE_TO_BASE: Dict[int, str] = {i: b for i, b in enumerate(BASES)}
+N_CODE = BASE_TO_CODE["N"]
+
+
+@dataclasses.dataclass
+class PileupColumn:
+    """All read bases covering one reference position.
+
+    Attributes:
+        chrom: reference name.
+        pos: 0-based reference position.
+        ref_base: uppercase reference base at this position.
+        base_codes: uint8 array of base codes (``BASE_TO_CODE``).
+        quals: uint8 array of Phred base qualities (parallel).
+        reverse: bool array, True where the read maps to the reverse
+            strand (parallel).
+        mapqs: uint8 array of mapping qualities (parallel).
+        n_capped: reads dropped by the depth cap at this column.
+    """
+
+    chrom: str
+    pos: int
+    ref_base: str
+    base_codes: np.ndarray
+    quals: np.ndarray
+    reverse: np.ndarray
+    mapqs: np.ndarray
+    n_capped: int = 0
+
+    def __post_init__(self) -> None:
+        self.base_codes = np.asarray(self.base_codes, dtype=np.uint8)
+        self.quals = np.asarray(self.quals, dtype=np.uint8)
+        self.reverse = np.asarray(self.reverse, dtype=bool)
+        self.mapqs = np.asarray(self.mapqs, dtype=np.uint8)
+        n = self.base_codes.size
+        if not (self.quals.size == self.reverse.size == self.mapqs.size == n):
+            raise ValueError("pileup column arrays must be parallel")
+
+    @property
+    def depth(self) -> int:
+        """Number of read bases in the column (after capping)."""
+        return int(self.base_codes.size)
+
+    @property
+    def ref_code(self) -> int:
+        """Base code of the reference base (N for ambiguity codes)."""
+        return BASE_TO_CODE.get(self.ref_base, N_CODE)
+
+    def base_counts(self) -> np.ndarray:
+        """Counts per base code, length 5 (A, C, G, T, N)."""
+        return np.bincount(self.base_codes, minlength=5)[:5]
+
+    def mismatch_count(self) -> int:
+        """Bases differing from the reference, excluding N calls
+        (LoFreq ignores N both in the reference and in reads)."""
+        codes = self.base_codes
+        return int(np.sum((codes != self.ref_code) & (codes != N_CODE)))
+
+    def allele_depth(self, code: int) -> int:
+        """Count of one specific base code."""
+        return int(np.sum(self.base_codes == code))
+
+    def strand_counts(self, code: int) -> Tuple[int, int]:
+        """(forward, reverse) counts for one base code."""
+        mask = self.base_codes == code
+        rev = int(np.sum(mask & self.reverse))
+        return int(np.sum(mask)) - rev, rev
+
+    def dp4(self, alt_code: int) -> Tuple[int, int, int, int]:
+        """LoFreq's DP4: ref-fwd, ref-rev, alt-fwd, alt-rev counts."""
+        rf, rr = self.strand_counts(self.ref_code)
+        af, ar = self.strand_counts(alt_code)
+        return rf, rr, af, ar
+
+    def error_probabilities(self, merge_mapq: bool = False) -> np.ndarray:
+        """Per-read error probabilities implied by the quality scores.
+
+        ``10**(-Q/10)`` from base qualities; with ``merge_mapq`` the
+        mapping quality is folded in as an independent error source
+        (``p = 1 - (1-p_base)(1-p_map)``), mirroring LoFreq's joint
+        quality option (``-m`` merging in the original tool).
+        """
+        p = np.power(10.0, -self.quals.astype(np.float64) / 10.0)
+        if merge_mapq:
+            pm = np.power(10.0, -self.mapqs.astype(np.float64) / 10.0)
+            p = 1.0 - (1.0 - p) * (1.0 - pm)
+        return p
+
+    def subset(self, mask: np.ndarray) -> "PileupColumn":
+        """A new column restricted to ``mask`` (bool array)."""
+        return PileupColumn(
+            chrom=self.chrom,
+            pos=self.pos,
+            ref_base=self.ref_base,
+            base_codes=self.base_codes[mask],
+            quals=self.quals[mask],
+            reverse=self.reverse[mask],
+            mapqs=self.mapqs[mask],
+            n_capped=self.n_capped,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        counts = self.base_counts()
+        summary = " ".join(
+            f"{CODE_TO_BASE[i]}:{counts[i]}" for i in range(5) if counts[i]
+        )
+        return (
+            f"PileupColumn({self.chrom}:{self.pos + 1} ref={self.ref_base} "
+            f"depth={self.depth} [{summary}])"
+        )

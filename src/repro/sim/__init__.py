@@ -1,0 +1,41 @@
+"""Sequencing simulation: the data substrate.
+
+The paper evaluates on ultra-deep SARS-CoV-2 amplicon datasets
+(1,000x - 1,000,000x coverage) that we cannot ship; this subpackage
+generates synthetic equivalents that exercise the same code paths:
+
+* :mod:`repro.sim.genome` -- reproducible random genomes, including a
+  SARS-CoV-2-sized default.
+* :mod:`repro.sim.haplotypes` -- low-frequency variant panels and the
+  intersection-structured five-panel suite behind Figure 3.
+* :mod:`repro.sim.quality` -- Illumina-like per-cycle quality models
+  (plus a long-read-like high-error profile for the Discussion's
+  "optimise for high-error data" avenue).
+* :mod:`repro.sim.reads` -- the read simulator: samples fragments,
+  injects true variants at their designed frequencies, then injects
+  sequencing errors *at exactly the rate the emitted quality scores
+  imply* -- the property that makes the Poisson-binomial null model
+  correct and that the test suite verifies empirically.
+* :mod:`repro.sim.datasets` -- the packaged paper workloads (Table I /
+  Figure 3 five-dataset suite) at laptop scale.
+"""
+
+from repro.sim.genome import random_genome, sars_cov_2_like
+from repro.sim.haplotypes import VariantSpec, VariantPanel, random_panel
+from repro.sim.quality import QualityModel
+from repro.sim.reads import ReadSimulator, SimulatedSample
+from repro.sim.datasets import DatasetSpec, SimulatedDataset, paper_dataset_suite
+
+__all__ = [
+    "DatasetSpec",
+    "QualityModel",
+    "ReadSimulator",
+    "SimulatedDataset",
+    "SimulatedSample",
+    "VariantPanel",
+    "VariantSpec",
+    "paper_dataset_suite",
+    "random_genome",
+    "random_panel",
+    "sars_cov_2_like",
+]

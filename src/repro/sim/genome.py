@@ -1,0 +1,73 @@
+"""Reproducible synthetic genomes.
+
+SARS-CoV-2 (NC_045512.2) is 29,903 nt with ~38% GC; the generator
+reproduces those gross statistics.  All randomness flows through a
+caller-supplied seed so datasets are bit-reproducible across runs --
+the benchmark harness depends on this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.io.fasta import FastaRecord
+
+__all__ = ["random_genome", "sars_cov_2_like", "SARS_COV_2_LENGTH"]
+
+#: Length of the real SARS-CoV-2 reference (NC_045512.2).
+SARS_COV_2_LENGTH = 29_903
+
+#: GC content of SARS-CoV-2 (~37.97%).
+SARS_COV_2_GC = 0.38
+
+
+def random_genome(
+    length: int,
+    *,
+    gc_content: float = 0.5,
+    name: str = "chrSim",
+    description: str = "simulated genome",
+    seed: int = 0,
+) -> FastaRecord:
+    """Generate a random genome with the given GC fraction.
+
+    Args:
+        length: genome length in bases.
+        gc_content: target fraction of G+C bases (each of G and C gets
+            half of it).
+        name: FASTA record name.
+        description: FASTA description field.
+        seed: RNG seed; the same arguments always produce the same
+            sequence.
+
+    Raises:
+        ValueError: for non-positive length or GC outside [0, 1].
+    """
+    if length <= 0:
+        raise ValueError(f"genome length must be positive, got {length}")
+    if not (0.0 <= gc_content <= 1.0):
+        raise ValueError(f"gc_content must be in [0, 1], got {gc_content}")
+    rng = np.random.default_rng(seed)
+    at = (1.0 - gc_content) / 2.0
+    gc = gc_content / 2.0
+    bases = rng.choice(
+        np.array(list("ACGT")), size=length, p=[at, gc, gc, at]
+    )
+    return FastaRecord(name, description, "".join(bases))
+
+
+def sars_cov_2_like(
+    *, length: int = SARS_COV_2_LENGTH, seed: int = 2019
+) -> FastaRecord:
+    """A SARS-CoV-2-sized, SARS-CoV-2-GC random genome.
+
+    The default seed is fixed so every component of the reproduction
+    sees the same "virus".  ``length`` can be shrunk for fast tests.
+    """
+    return random_genome(
+        length,
+        gc_content=SARS_COV_2_GC,
+        name="NC_045512.2-sim",
+        description="synthetic SARS-CoV-2-like genome",
+        seed=seed,
+    )

@@ -1,0 +1,200 @@
+"""Low-frequency variant panels.
+
+A :class:`VariantPanel` is the ground truth a simulated sample carries:
+a set of single-nucleotide variants, each present in the viral
+population at some frequency (the paper's subject is exactly these
+intra-host low-frequency variants).  Panels support set algebra on
+variant identity, which the Figure 3 suite uses to build five samples
+with a designed intersection structure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+__all__ = ["VariantSpec", "VariantPanel", "ArtifactSpec", "random_panel"]
+
+_ALT_CHOICES = {
+    "A": "CGT",
+    "C": "AGT",
+    "G": "ACT",
+    "T": "ACG",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class VariantSpec:
+    """One true single-nucleotide variant.
+
+    Attributes:
+        pos: 0-based genome position.
+        ref: reference base there.
+        alt: alternate base.
+        frequency: population frequency in (0, 1].
+    """
+
+    pos: int
+    ref: str
+    alt: str
+    frequency: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.frequency <= 1.0):
+            raise ValueError(
+                f"variant frequency must be in (0, 1], got {self.frequency}"
+            )
+        if self.ref == self.alt:
+            raise ValueError(f"ref and alt are both {self.ref!r}")
+        if self.pos < 0:
+            raise ValueError(f"negative variant position {self.pos}")
+
+    @property
+    def key(self) -> Tuple[int, str, str]:
+        """Identity ignoring frequency: ``(pos, ref, alt)``."""
+        return (self.pos, self.ref, self.alt)
+
+
+@dataclasses.dataclass(frozen=True)
+class ArtifactSpec:
+    """A strand-biased systematic error (e.g. a primer or alignment
+    artifact in amplicon data).
+
+    Unlike a true variant, the alternate base appears on only one
+    strand -- the signature LoFreq's strand-bias filter exists to
+    catch.  The simulator injects these after sequencing errors.
+
+    Attributes:
+        pos: 0-based genome position.
+        alt: the erroneous base produced.
+        rate: per-read probability of the artifact on the affected
+            strand.
+        on_reverse: affect reverse-strand reads (False = forward).
+    """
+
+    pos: int
+    alt: str
+    rate: float
+    on_reverse: bool = False
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.rate <= 1.0):
+            raise ValueError(f"artifact rate must be in (0, 1], got {self.rate}")
+        if self.pos < 0:
+            raise ValueError(f"negative artifact position {self.pos}")
+        if self.alt not in "ACGT":
+            raise ValueError(f"artifact alt must be ACGT, got {self.alt!r}")
+
+
+class VariantPanel:
+    """An ordered, position-unique collection of variants."""
+
+    def __init__(self, variants: Iterable[VariantSpec] = ()) -> None:
+        self._by_pos: Dict[int, VariantSpec] = {}
+        for v in variants:
+            self.add(v)
+
+    def add(self, variant: VariantSpec) -> None:
+        """Add a variant.
+
+        Raises:
+            ValueError: if another variant already occupies the position
+                (multi-allelic sites are out of scope, as in the paper).
+        """
+        if variant.pos in self._by_pos:
+            raise ValueError(f"duplicate variant at position {variant.pos}")
+        self._by_pos[variant.pos] = variant
+
+    def __len__(self) -> int:
+        return len(self._by_pos)
+
+    def __iter__(self) -> Iterator[VariantSpec]:
+        return iter(sorted(self._by_pos.values(), key=lambda v: v.pos))
+
+    def __contains__(self, pos: int) -> bool:
+        return pos in self._by_pos
+
+    def at(self, pos: int) -> Optional[VariantSpec]:
+        """The variant at ``pos`` or ``None``."""
+        return self._by_pos.get(pos)
+
+    def keys(self) -> Set[Tuple[int, str, str]]:
+        """Identity set for intersection analysis."""
+        return {v.key for v in self._by_pos.values()}
+
+    def positions(self) -> List[int]:
+        return sorted(self._by_pos)
+
+    def validate_against(self, genome: str) -> None:
+        """Check every variant's ref base matches the genome.
+
+        Raises:
+            ValueError: on the first mismatching or out-of-range variant.
+        """
+        for v in self:
+            if v.pos >= len(genome):
+                raise ValueError(
+                    f"variant position {v.pos} beyond genome length {len(genome)}"
+                )
+            if genome[v.pos].upper() != v.ref:
+                raise ValueError(
+                    f"variant at {v.pos} claims ref {v.ref!r} but genome has "
+                    f"{genome[v.pos]!r}"
+                )
+
+
+def random_panel(
+    genome: str,
+    n_variants: int,
+    *,
+    freq_range: Tuple[float, float] = (0.005, 0.10),
+    seed: int = 0,
+    exclude_positions: Optional[Set[int]] = None,
+    positions: Optional[Sequence[int]] = None,
+) -> VariantPanel:
+    """Draw a random variant panel over ``genome``.
+
+    Args:
+        genome: reference sequence.
+        n_variants: number of variants to place.
+        freq_range: population frequencies drawn log-uniformly in this
+            interval (low-frequency variants are the paper's regime).
+        seed: RNG seed.
+        exclude_positions: positions to avoid (so suites can control
+            panel overlap exactly).
+        positions: explicit positions to use instead of sampling; must
+            have length ``n_variants``.
+
+    Raises:
+        ValueError: if the genome cannot host that many distinct
+            variant positions.
+    """
+    rng = np.random.default_rng(seed)
+    length = len(genome)
+    excluded = exclude_positions or set()
+    if positions is not None:
+        if len(positions) != n_variants:
+            raise ValueError("positions length must equal n_variants")
+        chosen = list(positions)
+    else:
+        available = np.array(
+            [i for i in range(length) if i not in excluded and genome[i] in "ACGT"]
+        )
+        if available.size < n_variants:
+            raise ValueError(
+                f"cannot place {n_variants} variants in {available.size} "
+                "available positions"
+            )
+        chosen = sorted(rng.choice(available, size=n_variants, replace=False))
+    lo, hi = freq_range
+    if not (0.0 < lo <= hi <= 1.0):
+        raise ValueError(f"invalid frequency range {freq_range}")
+    freqs = np.exp(rng.uniform(np.log(lo), np.log(hi), size=n_variants))
+    panel = VariantPanel()
+    for pos, freq in zip(chosen, freqs):
+        ref = genome[int(pos)].upper()
+        alt = _ALT_CHOICES[ref][rng.integers(0, 3)]
+        panel.add(VariantSpec(int(pos), ref, alt, float(freq)))
+    return panel

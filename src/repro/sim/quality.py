@@ -1,0 +1,96 @@
+"""Per-cycle quality-score models.
+
+Illumina base qualities degrade along the read; the model here draws a
+smooth mean-quality curve from ``q_start`` to ``q_end`` plus per-base
+Gaussian jitter, clamped to the valid Phred range.  The crucial
+contract (tested property-style) is *calibration*: the simulator
+injects errors with exactly probability ``10**(-Q/10)`` for the quality
+it emits, so LoFreq's null model is literally true on simulated data
+and any excess mismatch signal is a real variant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["QualityModel"]
+
+_MIN_PHRED = 2
+_MAX_PHRED = 41
+
+
+@dataclasses.dataclass(frozen=True)
+class QualityModel:
+    """A linear-decay quality profile with jitter.
+
+    Attributes:
+        q_start: mean quality at the first cycle.
+        q_end: mean quality at the last cycle.
+        jitter: standard deviation of per-base Gaussian noise.
+        name: profile label (written to dataset metadata).
+    """
+
+    q_start: float = 37.0
+    q_end: float = 30.0
+    jitter: float = 3.0
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+        if self.q_start < 0 or self.q_end < 0:
+            raise ValueError("qualities must be non-negative")
+
+    # -- canned profiles ---------------------------------------------------
+
+    @classmethod
+    def hiseq(cls) -> "QualityModel":
+        """HiSeq-like profile (the benchmarking study the paper cites
+        used simulated HiSeq data): high, slowly decaying quality."""
+        return cls(q_start=37.0, q_end=30.0, jitter=3.0, name="hiseq")
+
+    @classmethod
+    def miseq(cls) -> "QualityModel":
+        """MiSeq-like: slightly lower and noisier."""
+        return cls(q_start=35.0, q_end=25.0, jitter=4.0, name="miseq")
+
+    @classmethod
+    def long_read(cls) -> "QualityModel":
+        """High-error long-read-like profile (Q ~ 12, flat).  The
+        Discussion notes the Poisson approximation is *more* accurate
+        at high error rates; the ablation bench uses this profile."""
+        return cls(q_start=13.0, q_end=11.0, jitter=1.5, name="long_read")
+
+    # -- sampling ----------------------------------------------------------
+
+    def mean_curve(self, read_length: int) -> np.ndarray:
+        """Mean quality per cycle (float array of ``read_length``)."""
+        if read_length <= 0:
+            raise ValueError(f"read length must be positive, got {read_length}")
+        return np.linspace(self.q_start, self.q_end, read_length)
+
+    def sample(self, read_length: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw one read's quality string (uint8 Phred array)."""
+        q = self.mean_curve(read_length) + rng.normal(
+            0.0, self.jitter, size=read_length
+        )
+        return np.clip(np.rint(q), _MIN_PHRED, _MAX_PHRED).astype(np.uint8)
+
+    def sample_many(
+        self, n_reads: int, read_length: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw an ``(n_reads, read_length)`` uint8 quality matrix in one
+        vectorised call (the bulk path the read simulator uses)."""
+        q = self.mean_curve(read_length)[None, :] + rng.normal(
+            0.0, self.jitter, size=(n_reads, read_length)
+        )
+        return np.clip(np.rint(q), _MIN_PHRED, _MAX_PHRED).astype(np.uint8)
+
+    def expected_error_rate(self, read_length: int) -> float:
+        """Mean per-base error probability implied by the profile
+        (ignoring jitter's second-order effect)."""
+        return float(
+            np.mean(np.power(10.0, -self.mean_curve(read_length) / 10.0))
+        )

@@ -1,0 +1,251 @@
+"""The read simulator.
+
+Fully vectorised: a sample's reads are represented as NumPy matrices
+(start positions, base-code matrix, quality matrix, strand vector) and
+only materialised into :class:`~repro.io.records.AlignedRead` objects
+lazily -- ultra-deep samples stay cheap until something actually needs
+per-read objects (e.g. BAM writing), and the pure-compute benchmarks
+can consume the arrays directly.
+
+Simulation model (single-end, ungapped, matching the paper's
+column-oriented view of the data):
+
+1. read starts uniform over ``[0, L - read_length]``, then sorted so
+   output is coordinate-sorted;
+2. each read copies the reference, then at every panel position it
+   covers, flips to the alternate allele with the variant's population
+   frequency (independent per read -- intra-host quasispecies);
+3. sequencing errors: every base flips to a uniformly-chosen other
+   base with probability ``10**(-Q/10)`` for its emitted quality Q.
+   This *calibration* makes LoFreq's null hypothesis exactly true for
+   non-variant sites;
+4. reverse-strand reads get their quality curve reversed (cycle order
+   runs 3'->5' against the reference for them).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.io.cigar import CigarOp
+from repro.io.fasta import FastaRecord
+from repro.io.records import FLAG_REVERSE, AlignedRead, SamHeader
+from repro.pileup.column import BASES
+from repro.sim.haplotypes import ArtifactSpec, VariantPanel
+from repro.sim.quality import QualityModel
+
+__all__ = ["ReadSimulator", "SimulatedSample"]
+
+_CODE_TO_ASCII = np.frombuffer("ACGTN".encode("ascii"), dtype=np.uint8)
+_ASCII_TO_CODE = np.full(256, 4, dtype=np.uint8)
+for _i, _b in enumerate(BASES):
+    _ASCII_TO_CODE[ord(_b)] = _i
+
+
+def encode_sequence(seq: str) -> np.ndarray:
+    """Map an ACGTN string to uint8 base codes (unknown -> N)."""
+    raw = np.frombuffer(seq.upper().encode("ascii"), dtype=np.uint8)
+    return _ASCII_TO_CODE[raw]
+
+
+def decode_row(codes: np.ndarray) -> str:
+    """Map a base-code vector back to a string."""
+    return _CODE_TO_ASCII[codes].tobytes().decode("ascii")
+
+
+@dataclasses.dataclass
+class SimulatedSample:
+    """A simulated sequencing run in columnar (matrix) form.
+
+    Attributes:
+        genome: the reference the reads were drawn from.
+        panel: the ground-truth variants injected.
+        starts: int64 ``(n,)`` sorted read start positions.
+        codes: uint8 ``(n, read_length)`` base-code matrix.
+        quals: uint8 ``(n, read_length)`` Phred matrix.
+        reverse: bool ``(n,)`` strand vector.
+        seed: RNG seed that produced the sample.
+        mapq: mapping quality stamped on every read.
+    """
+
+    genome: FastaRecord
+    panel: VariantPanel
+    starts: np.ndarray
+    codes: np.ndarray
+    quals: np.ndarray
+    reverse: np.ndarray
+    seed: int
+    mapq: int = 60
+
+    @property
+    def n_reads(self) -> int:
+        return int(self.starts.size)
+
+    @property
+    def read_length(self) -> int:
+        return int(self.codes.shape[1]) if self.codes.ndim == 2 else 0
+
+    @property
+    def mean_depth(self) -> float:
+        """Average coverage implied by the read count."""
+        if len(self.genome) == 0:
+            return 0.0
+        return self.n_reads * self.read_length / len(self.genome)
+
+    def header(self) -> SamHeader:
+        hdr = SamHeader(sort_order="coordinate")
+        hdr.references.append((self.genome.name, len(self.genome)))
+        hdr.programs.append({"ID": "repro-sim", "PN": "repro-sim"})
+        return hdr
+
+    def reads(self) -> Iterator[AlignedRead]:
+        """Lazily materialise :class:`AlignedRead` objects in
+        coordinate order."""
+        rl = self.read_length
+        rname = self.genome.name
+        for i in range(self.n_reads):
+            yield AlignedRead(
+                qname=f"sim.{self.seed}.{i}",
+                flag=FLAG_REVERSE if self.reverse[i] else 0,
+                rname=rname,
+                pos=int(self.starts[i]),
+                mapq=self.mapq,
+                cigar=[(CigarOp.M, rl)],
+                seq=decode_row(self.codes[i]),
+                qual=self.quals[i],
+            )
+
+    def read_list(self) -> List[AlignedRead]:
+        """Materialise every read (convenience for small samples)."""
+        return list(self.reads())
+
+    def write_bam(self, path) -> int:
+        """Stream the sample to a BAM file; returns the record count."""
+        from repro.io.bam import BamWriter
+
+        with BamWriter(path, self.header()) as writer:
+            for read in self.reads():
+                writer.write(read)
+            return writer.records_written
+
+
+class ReadSimulator:
+    """Generates :class:`SimulatedSample` objects for one genome/panel.
+
+    Args:
+        genome: reference record.
+        panel: true variants to inject (may be empty for pure-noise
+            null datasets, used by the false-positive tests).
+        quality_model: per-cycle quality profile.
+        read_length: read length in bases; must not exceed the genome.
+
+    Raises:
+        ValueError: on inconsistent arguments (panel refs not matching
+            the genome, read length too long, ...).
+    """
+
+    def __init__(
+        self,
+        genome: FastaRecord,
+        panel: Optional[VariantPanel] = None,
+        *,
+        quality_model: Optional[QualityModel] = None,
+        read_length: int = 100,
+        artifacts: Optional[List[ArtifactSpec]] = None,
+    ) -> None:
+        if read_length <= 0:
+            raise ValueError(f"read_length must be positive, got {read_length}")
+        if read_length > len(genome):
+            raise ValueError(
+                f"read_length {read_length} exceeds genome length {len(genome)}"
+            )
+        self.genome = genome
+        self.panel = panel or VariantPanel()
+        self.panel.validate_against(genome.sequence)
+        self.quality_model = quality_model or QualityModel.hiseq()
+        self.read_length = read_length
+        self.artifacts = list(artifacts or [])
+        for art in self.artifacts:
+            if art.pos >= len(genome):
+                raise ValueError(
+                    f"artifact position {art.pos} beyond genome length"
+                )
+        self._genome_codes = encode_sequence(genome.sequence)
+
+    def n_reads_for_depth(self, depth: float) -> int:
+        """Read count giving the requested mean coverage."""
+        if depth <= 0:
+            raise ValueError(f"depth must be positive, got {depth}")
+        return max(1, round(depth * len(self.genome) / self.read_length))
+
+    def simulate(self, depth: float, *, seed: int = 0) -> SimulatedSample:
+        """Simulate a sample at the given mean depth.
+
+        The same ``(simulator arguments, depth, seed)`` triple always
+        produces the same sample.
+        """
+        n = self.n_reads_for_depth(depth)
+        rng = np.random.default_rng(seed)
+        rl = self.read_length
+        L = len(self.genome)
+
+        starts = np.sort(rng.integers(0, L - rl + 1, size=n)).astype(np.int64)
+        reverse = rng.random(n) < 0.5
+
+        # Reference copy for every read: (n, rl) gather.
+        codes = self._genome_codes[starts[:, None] + np.arange(rl)[None, :]].copy()
+
+        # True variant injection, one vectorised pass per panel site.
+        for variant in self.panel:
+            lo = np.searchsorted(starts, variant.pos - rl + 1, side="left")
+            hi = np.searchsorted(starts, variant.pos, side="right")
+            if hi <= lo:
+                continue
+            rows = np.arange(lo, hi)
+            cols = variant.pos - starts[lo:hi]
+            keep = (cols >= 0) & (cols < rl)
+            rows, cols = rows[keep], cols[keep]
+            flip = rng.random(rows.size) < variant.frequency
+            codes[rows[flip], cols[flip]] = BASES.index(variant.alt)
+
+        # Qualities; reverse-strand reads see the cycle curve flipped.
+        quals = self.quality_model.sample_many(n, rl, rng)
+        if np.any(reverse):
+            quals[reverse] = quals[reverse, ::-1]
+
+        # Calibrated sequencing errors: P(error) == 10^(-Q/10) exactly.
+        err_prob = np.power(10.0, -quals.astype(np.float64) / 10.0)
+        err_mask = rng.random((n, rl)) < err_prob
+        if np.any(err_mask):
+            offsets = rng.integers(1, 4, size=int(err_mask.sum()))
+            flat = codes[err_mask]
+            # Uniform over the other three bases; N bases (code 4) stay N.
+            flipped = np.where(flat < 4, (flat + offsets) % 4, flat)
+            codes[err_mask] = flipped.astype(np.uint8)
+
+        # Strand-biased artifacts (after errors: they are systematic,
+        # not quality-driven).
+        for art in self.artifacts:
+            lo = np.searchsorted(starts, art.pos - rl + 1, side="left")
+            hi = np.searchsorted(starts, art.pos, side="right")
+            if hi <= lo:
+                continue
+            rows = np.arange(lo, hi)
+            cols = art.pos - starts[lo:hi]
+            keep = (cols >= 0) & (cols < rl) & (reverse[lo:hi] == art.on_reverse)
+            rows, cols = rows[keep], cols[keep]
+            flip = rng.random(rows.size) < art.rate
+            codes[rows[flip], cols[flip]] = BASES.index(art.alt)
+
+        return SimulatedSample(
+            genome=self.genome,
+            panel=self.panel,
+            starts=starts,
+            codes=codes,
+            quals=quals,
+            reverse=reverse,
+            seed=seed,
+        )

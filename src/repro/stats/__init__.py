@@ -1,0 +1,69 @@
+"""Statistical machinery for quality-aware variant calling.
+
+The paper's computational core is the Poisson-binomial tail test: at a
+pileup column with per-read error probabilities ``p_i``, the number of
+sequencing errors is Poisson-binomial and a variant is called when
+``P(X >= K) < alpha`` for ``K`` observed mismatches.  This subpackage
+implements:
+
+* :mod:`repro.stats.special` -- regularized incomplete gamma (the
+  building block GSL provides upstream), log-space helpers.
+* :mod:`repro.stats.poisson` -- Poisson pmf/cdf/sf built on the above.
+* :mod:`repro.stats.poisson_binomial` -- the exact O(d*K) dynamic
+  program with LoFreq's early-stop pruning, plus a brute-force oracle.
+* :mod:`repro.stats.dftcf` -- Hong (2013) DFT of the characteristic
+  function, an alternative exact method (paper refs [11], [12]).
+* :mod:`repro.stats.normal_approx` -- Biscarri et al. (2018) refined
+  normal approximation (paper ref [11]).
+* :mod:`repro.stats.approximation` -- the Hodges--Le Cam Poisson
+  approximation and its total-variation error bound: the paper's
+  first-pass filter (Section II-A).
+* :mod:`repro.stats.fisher` -- Fisher's exact test for the strand-bias
+  filter LoFreq applies to calls.
+* :mod:`repro.stats.correction` -- Bonferroni multiple-testing control.
+"""
+
+from repro.stats.approximation import (
+    le_cam_bound,
+    poisson_lambda,
+    poisson_tail_approx,
+)
+from repro.stats.correction import bonferroni_alpha, default_test_count
+from repro.stats.dftcf import poibin_pmf_dftcf, poibin_sf_dftcf
+from repro.stats.fisher import fisher_exact, strand_bias_phred
+from repro.stats.normal_approx import poibin_sf_refined_normal
+from repro.stats.poisson import poisson_cdf, poisson_pmf, poisson_sf
+from repro.stats.poisson_binomial import (
+    poibin_pmf_dp,
+    poibin_sf,
+    poibin_sf_brute_force,
+    poibin_sf_dp,
+)
+from repro.stats.special import (
+    log_gamma,
+    lower_regularized_gamma,
+    upper_regularized_gamma,
+)
+
+__all__ = [
+    "bonferroni_alpha",
+    "default_test_count",
+    "fisher_exact",
+    "le_cam_bound",
+    "log_gamma",
+    "lower_regularized_gamma",
+    "poibin_pmf_dftcf",
+    "poibin_pmf_dp",
+    "poibin_sf",
+    "poibin_sf_brute_force",
+    "poibin_sf_dftcf",
+    "poibin_sf_dp",
+    "poibin_sf_refined_normal",
+    "poisson_cdf",
+    "poisson_lambda",
+    "poisson_pmf",
+    "poisson_sf",
+    "poisson_tail_approx",
+    "strand_bias_phred",
+    "upper_regularized_gamma",
+]

@@ -1,0 +1,70 @@
+"""The Poisson approximation first-pass filter (the paper's Section II-A).
+
+Hodges & Le Cam (1960) -- the paper's reference [13] -- bound the total
+variation distance between a Poisson-binomial with probabilities
+``p_i`` and a Poisson with ``lambda = sum p_i``::
+
+    sup_A | P_PB(A) - P_Poi(A) |  <=  sum p_i^2
+
+so for any tail event the approximate p-value is within
+``sum p_i^2`` of the exact one.  Base-call error probabilities are
+small (Q30 -> 0.001), so at depth 100,000 the bound is ~1e-1 * mean
+error rate -- and the paper additionally keeps a safety margin of 0.01
+above the significance threshold before trusting the approximation.
+
+:func:`poisson_tail_approx` is O(d) (one pass to sum lambda) plus an
+O(1) incomplete-gamma evaluation, versus O(d*K) for the exact DP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats.poisson import poisson_sf
+
+__all__ = [
+    "poisson_lambda",
+    "poisson_tail_approx",
+    "le_cam_bound",
+    "approximation_is_conclusive",
+]
+
+
+def poisson_lambda(probs: np.ndarray) -> float:
+    """``lambda = sum p_i``, the mean error count under the null."""
+    p = np.asarray(probs, dtype=np.float64)
+    if p.ndim != 1:
+        raise ValueError(f"probabilities must be 1-D, got shape {p.shape}")
+    return float(p.sum())
+
+
+def poisson_tail_approx(k: int, probs: np.ndarray) -> float:
+    """Approximate ``P(X >= k)`` via the Poisson(sum p) right tail.
+
+    This is the paper's ``p-hat``: the O(d) first-pass statistic.
+    """
+    return poisson_sf(k, poisson_lambda(probs))
+
+
+def le_cam_bound(probs: np.ndarray) -> float:
+    """Hodges--Le Cam total-variation bound ``sum p_i^2``.
+
+    Any event probability under the Poisson-binomial differs from the
+    Poisson approximation by at most this much; the property-based
+    tests verify it empirically against the exact DP.
+    """
+    p = np.asarray(probs, dtype=np.float64)
+    return float((p * p).sum())
+
+
+def approximation_is_conclusive(
+    p_hat: float, alpha: float, margin: float
+) -> bool:
+    """The paper's skip rule: trust ``p_hat`` when it clears the
+    significance level by at least ``margin`` (default 0.01 upstream).
+
+    Only the "clearly not a variant" side is ever shortcut -- when
+    ``p_hat`` is small the exact computation always runs, so the
+    approximation can never *create* a call (Discussion, paragraph 1).
+    """
+    return p_hat >= alpha + margin

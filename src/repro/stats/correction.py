@@ -1,0 +1,40 @@
+"""Multiple-testing correction.
+
+LoFreq tests every genome position (times three possible alternate
+alleles), so raw p-values are Bonferroni-corrected: with significance
+level ``alpha`` (paper default 0.05) and ``n`` tests, a column is
+significant when ``p < alpha / n``.  Equivalently LoFreq multiplies
+p-values by the "bonf factor"; we divide the threshold, which is
+numerically safer for tiny p.
+"""
+
+from __future__ import annotations
+
+__all__ = ["bonferroni_alpha", "default_test_count", "ALT_ALLELES_PER_SITE"]
+
+#: Each position can mutate to any of the three non-reference bases.
+ALT_ALLELES_PER_SITE = 3
+
+
+def default_test_count(genome_length: int) -> int:
+    """LoFreq's default Bonferroni denominator: positions x 3 alleles.
+
+    Raises:
+        ValueError: for non-positive genome length.
+    """
+    if genome_length <= 0:
+        raise ValueError(f"genome length must be positive, got {genome_length}")
+    return genome_length * ALT_ALLELES_PER_SITE
+
+
+def bonferroni_alpha(alpha: float, n_tests: int) -> float:
+    """Per-test significance threshold ``alpha / n_tests``.
+
+    Raises:
+        ValueError: for alpha outside (0, 1] or non-positive n_tests.
+    """
+    if not (0.0 < alpha <= 1.0):
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    if n_tests <= 0:
+        raise ValueError(f"n_tests must be positive, got {n_tests}")
+    return alpha / n_tests

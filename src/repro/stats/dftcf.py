@@ -1,0 +1,64 @@
+"""Poisson-binomial pmf via the DFT of the characteristic function.
+
+Hong (2013, CSDA 59:41-51) -- reference [12] of the paper -- observed
+that the Poisson-binomial pmf is the inverse DFT of its characteristic
+function sampled at the roots of unity::
+
+    pmf[k] = (1/(d+1)) * sum_l  CF(2*pi*l/(d+1)) * exp(-2*pi*i*l*k/(d+1))
+    CF(t)  = prod_j (1 - p_j + p_j * exp(i*t))
+
+With the CF evaluated at all ``d+1`` sample points, a single forward
+FFT recovers the whole pmf in O(d log d) after the O(d^2) CF product
+(done blockwise to bound memory).  This gives an exact method that is
+structurally independent of the dynamic program, which makes it the
+ideal cross-check: the two agree to ~1e-10 and the test suite enforces
+that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["poibin_pmf_dftcf", "poibin_sf_dftcf"]
+
+#: Reads per block when accumulating the CF product (memory bound:
+#: block * (d+1) complex128 values).
+_BLOCK = 256
+
+
+def poibin_pmf_dftcf(probs: np.ndarray) -> np.ndarray:
+    """Full pmf ``P(X = 0..d)`` by the DFT-CF method.
+
+    Returns:
+        Length ``d + 1`` float64 array; tiny negative round-off values
+        are clipped to zero.
+    """
+    p = np.asarray(probs, dtype=np.float64)
+    if p.ndim != 1:
+        raise ValueError(f"probabilities must be 1-D, got shape {p.shape}")
+    if p.size and (p.min() < 0.0 or p.max() > 1.0):
+        raise ValueError("probabilities must lie in [0, 1]")
+    d = p.size
+    n = d + 1
+    # omega^l for l = 0..d on the unit circle.
+    ang = 2.0 * np.pi * np.arange(n) / n
+    omega = np.cos(ang) + 1j * np.sin(ang)
+    cf = np.ones(n, dtype=np.complex128)
+    for start in range(0, d, _BLOCK):
+        block = p[start : start + _BLOCK]
+        # factor[j, l] = 1 - p_j + p_j * omega^l
+        factors = 1.0 - block[:, None] * (1.0 - omega[None, :])
+        cf *= np.prod(factors, axis=0)
+    pmf = np.fft.fft(cf).real / n
+    np.clip(pmf, 0.0, 1.0, out=pmf)
+    return pmf
+
+
+def poibin_sf_dftcf(k: int, probs: np.ndarray) -> float:
+    """``P(X >= k)`` from the DFT-CF pmf."""
+    if k <= 0:
+        return 1.0
+    pmf = poibin_pmf_dftcf(probs)
+    if k >= pmf.size:
+        return 0.0
+    return float(pmf[k:].sum())

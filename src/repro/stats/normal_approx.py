@@ -1,0 +1,63 @@
+"""Refined normal approximation to the Poisson-binomial tail.
+
+Biscarri, Zhao & Brunner (2018, CSDA 122:92-100) -- reference [11] of
+the paper -- recommend a skewness-corrected ("refined") normal
+approximation when an O(1)-per-query estimate suffices::
+
+    P(X <= k) ~ Phi(x) + gamma * (1 - x^2) * phi(x) / 6
+    x = (k + 0.5 - mu) / sigma          (continuity corrected)
+    gamma = sum p(1-p)(1-2p) / sigma^3  (skewness)
+
+The paper's shortcut uses the *Poisson* approximation instead (better
+for the small-p regime of base-call errors); the RNA lives here so the
+ablation benchmark ``bench_poibin_algos`` can compare the two choices,
+one of the "possible avenues" the Discussion floats.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["poibin_cdf_refined_normal", "poibin_sf_refined_normal"]
+
+_SQRT2 = math.sqrt(2.0)
+_SQRT2PI = math.sqrt(2.0 * math.pi)
+
+
+def _phi(x: float) -> float:
+    """Standard normal density."""
+    return math.exp(-0.5 * x * x) / _SQRT2PI
+
+
+def _Phi(x: float) -> float:
+    """Standard normal CDF via erfc (stable in both tails)."""
+    return 0.5 * math.erfc(-x / _SQRT2)
+
+
+def poibin_cdf_refined_normal(k: int, probs: np.ndarray) -> float:
+    """Approximate ``P(X <= k)``, clipped to [0, 1].
+
+    Degenerate case: when every ``p_i`` is 0 or 1 the variance
+    vanishes and the distribution is a point mass at ``sum p``; the
+    exact step function is returned.
+    """
+    p = np.asarray(probs, dtype=np.float64)
+    mu = float(p.sum())
+    var = float((p * (1.0 - p)).sum())
+    sigma = math.sqrt(var)
+    if sigma == 0.0 or sigma**3 == 0.0:
+        # Degenerate (or numerically denormal) variance: point mass.
+        return 1.0 if k >= round(mu) else 0.0
+    gamma = float((p * (1.0 - p) * (1.0 - 2.0 * p)).sum()) / (sigma**3)
+    x = (k + 0.5 - mu) / sigma
+    val = _Phi(x) + gamma * (1.0 - x * x) * _phi(x) / 6.0
+    return min(1.0, max(0.0, val))
+
+
+def poibin_sf_refined_normal(k: int, probs: np.ndarray) -> float:
+    """Approximate ``P(X >= k)`` (inclusive tail)."""
+    if k <= 0:
+        return 1.0
+    return 1.0 - poibin_cdf_refined_normal(k - 1, probs)

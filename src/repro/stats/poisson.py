@@ -1,0 +1,61 @@
+"""Poisson distribution tails via the regularized incomplete gamma.
+
+The identities used (for integer ``k >= 0``, rate ``lam > 0``)::
+
+    P(X <= k) = Q(k + 1, lam)      (upper regularized gamma)
+    P(X >= k) = P(k, lam)          (lower regularized gamma, k >= 1)
+
+These are exactly what GSL's ``gsl_cdf_poisson_{P,Q}`` compute, which is
+what the paper calls through for its approximation (Section II-A).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.stats.special import (
+    log_gamma,
+    lower_regularized_gamma,
+    upper_regularized_gamma,
+)
+
+__all__ = ["poisson_pmf", "poisson_cdf", "poisson_sf", "poisson_log_pmf"]
+
+
+def _validate(k: int, lam: float) -> None:
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    if lam < 0 or math.isnan(lam):
+        raise ValueError(f"lambda must be >= 0, got {lam}")
+
+
+def poisson_log_pmf(k: int, lam: float) -> float:
+    """``log P(X = k)`` for a Poisson(lam) variable."""
+    _validate(k, lam)
+    if lam == 0.0:
+        return 0.0 if k == 0 else -math.inf
+    return k * math.log(lam) - lam - log_gamma(k + 1.0)
+
+
+def poisson_pmf(k: int, lam: float) -> float:
+    """``P(X = k)``."""
+    return math.exp(poisson_log_pmf(k, lam))
+
+
+def poisson_cdf(k: int, lam: float) -> float:
+    """``P(X <= k)``."""
+    _validate(k, lam)
+    if lam == 0.0:
+        return 1.0
+    return upper_regularized_gamma(k + 1.0, lam)
+
+
+def poisson_sf(k: int, lam: float) -> float:
+    """``P(X >= k)`` -- note the *inclusive* tail, matching the paper's
+    ``p = sum_{j >= K} P(X = j)`` test statistic."""
+    _validate(k, lam)
+    if k == 0:
+        return 1.0
+    if lam == 0.0:
+        return 0.0
+    return lower_regularized_gamma(float(k), lam)

@@ -1,0 +1,164 @@
+"""Special functions: log-gamma and the regularized incomplete gamma.
+
+Upstream LoFreq gets the Poisson tail from the GNU Scientific Library;
+here the equivalent machinery is implemented directly (Lanczos
+log-gamma, series expansion for the lower incomplete gamma, Lentz
+continued fraction for the upper) and cross-checked against SciPy in
+the test suite.  The functions accept scalars and are heavily exercised
+by property tests, so numerical edge cases (``x = 0``, huge ``x``,
+``a`` of a few million -- the paper's 1,000,000x depth columns) are
+handled explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "log_gamma",
+    "lower_regularized_gamma",
+    "upper_regularized_gamma",
+    "log_sum_exp",
+    "phred_to_prob",
+    "prob_to_phred",
+]
+
+# Lanczos coefficients (g=7, n=9); standard double-precision set.
+_LANCZOS_G = 7.0
+_LANCZOS = (
+    0.99999999999980993,
+    676.5203681218851,
+    -1259.1392167224028,
+    771.32342877765313,
+    -176.61502916214059,
+    12.507343278686905,
+    -0.13857109526572012,
+    9.9843695780195716e-6,
+    1.5056327351493116e-7,
+)
+
+_MAX_ITER = 10_000
+_EPS = 1e-15
+_FPMIN = 1e-300
+
+
+def log_gamma(x: float) -> float:
+    """Natural log of the gamma function for ``x > 0``.
+
+    Uses the Lanczos approximation; accurate to ~1e-13 relative error
+    over the range exercised here.
+
+    Raises:
+        ValueError: for ``x <= 0`` (poles / undefined region).
+    """
+    if x <= 0:
+        raise ValueError(f"log_gamma requires x > 0, got {x}")
+    if x < 0.5:
+        # Reflection formula keeps the Lanczos series in its sweet spot.
+        return math.log(math.pi / math.sin(math.pi * x)) - log_gamma(1.0 - x)
+    x -= 1.0
+    acc = _LANCZOS[0]
+    for i in range(1, len(_LANCZOS)):
+        acc += _LANCZOS[i] / (x + i)
+    t = x + _LANCZOS_G + 0.5
+    return 0.5 * math.log(2.0 * math.pi) + (x + 0.5) * math.log(t) - t + math.log(acc)
+
+
+def _gamma_series(a: float, x: float) -> float:
+    """Lower regularized incomplete gamma P(a, x) by series; x < a+1."""
+    if x <= 0.0:
+        return 0.0
+    ap = a
+    summ = 1.0 / a
+    delta = summ
+    log_prefix = a * math.log(x) - x - log_gamma(a)
+    for _ in range(_MAX_ITER):
+        ap += 1.0
+        delta *= x / ap
+        summ += delta
+        if abs(delta) < abs(summ) * _EPS:
+            return summ * math.exp(log_prefix)
+    raise ArithmeticError(
+        f"incomplete gamma series failed to converge (a={a}, x={x})"
+    )
+
+
+def _gamma_cont_fraction(a: float, x: float) -> float:
+    """Upper regularized incomplete gamma Q(a, x) by Lentz continued
+    fraction; x >= a+1."""
+    log_prefix = a * math.log(x) - x - log_gamma(a)
+    b = x + 1.0 - a
+    c = 1.0 / _FPMIN
+    d = 1.0 / b
+    h = d
+    for i in range(1, _MAX_ITER):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < _FPMIN:
+            d = _FPMIN
+        c = b + an / c
+        if abs(c) < _FPMIN:
+            c = _FPMIN
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _EPS:
+            return math.exp(log_prefix) * h
+    raise ArithmeticError(
+        f"incomplete gamma continued fraction failed to converge (a={a}, x={x})"
+    )
+
+
+def lower_regularized_gamma(a: float, x: float) -> float:
+    """``P(a, x) = gamma(a, x) / Gamma(a)``, in [0, 1].
+
+    Raises:
+        ValueError: for ``a <= 0`` or ``x < 0``.
+    """
+    if a <= 0:
+        raise ValueError(f"requires a > 0, got a={a}")
+    if x < 0:
+        raise ValueError(f"requires x >= 0, got x={x}")
+    if x == 0.0:
+        return 0.0
+    if x < a + 1.0:
+        return _gamma_series(a, x)
+    return 1.0 - _gamma_cont_fraction(a, x)
+
+
+def upper_regularized_gamma(a: float, x: float) -> float:
+    """``Q(a, x) = 1 - P(a, x)``, computed without cancellation where
+    possible (continued fraction directly for ``x >= a + 1``)."""
+    if a <= 0:
+        raise ValueError(f"requires a > 0, got a={a}")
+    if x < 0:
+        raise ValueError(f"requires x >= 0, got x={x}")
+    if x == 0.0:
+        return 1.0
+    if x < a + 1.0:
+        return 1.0 - _gamma_series(a, x)
+    return _gamma_cont_fraction(a, x)
+
+
+def log_sum_exp(log_a: float, log_b: float) -> float:
+    """``log(exp(log_a) + exp(log_b))`` without overflow."""
+    if log_a == -math.inf:
+        return log_b
+    if log_b == -math.inf:
+        return log_a
+    hi, lo = (log_a, log_b) if log_a >= log_b else (log_b, log_a)
+    return hi + math.log1p(math.exp(lo - hi))
+
+
+def phred_to_prob(q: float) -> float:
+    """Phred score -> error probability ``10**(-q/10)``."""
+    return 10.0 ** (-q / 10.0)
+
+
+def prob_to_phred(p: float, cap: float = 99.0) -> float:
+    """Error probability -> Phred score, capped (``p = 0`` maps to the
+    cap rather than infinity, matching htslib conventions)."""
+    if p <= 0.0:
+        return cap
+    return min(cap, -10.0 * math.log10(p))

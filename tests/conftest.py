@@ -1,0 +1,69 @@
+"""Shared fixtures: a small genome, a variant panel, samples at two
+depths, and pre-built pileup columns."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.io.regions import Region
+from repro.sim.genome import random_genome
+from repro.sim.haplotypes import VariantPanel, VariantSpec, random_panel
+from repro.sim.quality import QualityModel
+from repro.sim.reads import ReadSimulator
+
+
+@pytest.fixture(scope="session")
+def genome():
+    """A 1200 nt reproducible genome."""
+    return random_genome(1200, gc_content=0.4, name="chrT", seed=42)
+
+
+@pytest.fixture(scope="session")
+def panel(genome):
+    """Eight mid-frequency variants, detectable at modest depth."""
+    return random_panel(genome.sequence, 8, freq_range=(0.05, 0.2), seed=11)
+
+
+@pytest.fixture(scope="session")
+def simulator(genome, panel):
+    return ReadSimulator(
+        genome, panel, quality_model=QualityModel.hiseq(), read_length=80
+    )
+
+
+@pytest.fixture(scope="session")
+def sample(simulator):
+    """A 200x sample carrying the panel."""
+    return simulator.simulate(depth=200, seed=7)
+
+
+@pytest.fixture(scope="session")
+def deep_sample(simulator):
+    """A 1500x sample (deep enough for the approximation path)."""
+    return simulator.simulate(depth=1500, seed=8)
+
+
+@pytest.fixture(scope="session")
+def null_sample(genome):
+    """A sample with no true variants (false-positive control)."""
+    sim = ReadSimulator(genome, VariantPanel(), read_length=80)
+    return sim.simulate(depth=300, seed=9)
+
+
+@pytest.fixture(scope="session")
+def whole_region(genome):
+    return Region(genome.name, 0, len(genome))
+
+
+@pytest.fixture(scope="session")
+def columns(sample, whole_region):
+    """All pileup columns of the 200x sample (vectorised path)."""
+    from repro.pileup.vectorized import pileup_sample
+
+    return list(pileup_sample(sample, whole_region))
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(123)

@@ -1,0 +1,118 @@
+"""Tests for concordance reports and the upset computation."""
+
+import pytest
+
+from repro.analysis.concordance import compare_call_sets
+from repro.analysis.upset import compute_upset, render_upset
+
+
+class TestConcordance:
+    def test_identical(self):
+        keys = {("c", 1, "A", "T"), ("c", 5, "G", "C")}
+        report = compare_call_sets(keys, set(keys))
+        assert report.identical
+        assert report.jaccard == 1.0
+
+    def test_partial_overlap(self):
+        a = {("c", 1, "A", "T"), ("c", 2, "A", "T")}
+        b = {("c", 2, "A", "T"), ("c", 3, "A", "T")}
+        report = compare_call_sets(a, b)
+        assert not report.identical
+        assert len(report.shared) == 1
+        assert len(report.only_a) == 1
+        assert len(report.only_b) == 1
+        assert report.jaccard == pytest.approx(1 / 3)
+
+    def test_subset_relations(self):
+        a = {("c", 1, "A", "T")}
+        b = {("c", 1, "A", "T"), ("c", 2, "A", "T")}
+        report = compare_call_sets(a, b)
+        assert report.a_subset_of_b
+        assert not report.b_subset_of_a
+
+    def test_empty_sets(self):
+        report = compare_call_sets([], [])
+        assert report.identical
+        assert report.jaccard == 1.0
+
+    def test_summary_is_readable(self):
+        report = compare_call_sets({("c", 1, "A", "T")}, set())
+        text = report.summary("new", "old")
+        assert "new" in text and "old" in text and "shared 0" in text
+
+
+class TestUpset:
+    @pytest.fixture
+    def sets(self):
+        return {
+            "s1": {1, 2, 3, 10},
+            "s2": {2, 3, 20},
+            "s3": {3, 30, 31},
+        }
+
+    def test_exclusive_intersections(self, sets):
+        result = compute_upset(sets)
+        assert result.count("s1") == 2  # 1, 10
+        assert result.count("s2") == 1  # 20
+        assert result.count("s3") == 2  # 30, 31
+        assert result.count("s1", "s2") == 1  # 2
+        assert result.count("s1", "s2", "s3") == 1  # 3
+        assert result.count("s1", "s3") == 0
+
+    def test_counts_partition_the_universe(self, sets):
+        result = compute_upset(sets)
+        universe = set().union(*sets.values())
+        assert sum(result.intersections.values()) == len(universe)
+
+    def test_totals(self, sets):
+        result = compute_upset(sets)
+        assert result.totals == {"s1": 4, "s2": 3, "s3": 3}
+
+    def test_shared_by_all(self, sets):
+        assert compute_upset(sets).shared_by_all() == 1
+
+    def test_unique_counts(self, sets):
+        assert compute_upset(sets).unique_counts() == {
+            "s1": 2, "s2": 1, "s3": 2
+        }
+
+    def test_pairwise_shared_inclusive(self, sets):
+        pairs = compute_upset(sets).pairwise_shared()
+        assert pairs[("s1", "s2")] == 2  # {2, 3}
+        assert pairs[("s1", "s3")] == 1  # {3}
+        assert pairs[("s2", "s3")] == 1  # {3}
+
+    def test_empty_mapping_raises(self):
+        with pytest.raises(ValueError):
+            compute_upset({})
+
+    def test_disjoint_sets(self):
+        result = compute_upset({"a": {1}, "b": {2}})
+        assert result.shared_by_all() == 0
+        assert result.count("a") == 1
+
+
+class TestRender:
+    def test_render_contains_structure(self):
+        result = compute_upset({"alpha": {1, 2}, "beta": {2, 3}})
+        text = render_upset(result)
+        assert "alpha" in text and "beta" in text
+        assert "x" in text
+        assert "Set totals:" in text
+        assert "#" in text
+
+    def test_render_empty_sets(self):
+        result = compute_upset({"a": set(), "b": set()})
+        assert render_upset(result) == "(no elements)"
+
+    def test_membership_matrix_consistent(self):
+        """Each pattern column's x-marks must match a stored pattern."""
+        sets = {"A": {1, 2}, "B": {2}, "C": {3}}
+        result = compute_upset(sets)
+        text = render_upset(result)
+        rows = {
+            line.split()[0]: line.split()[1:]
+            for line in text.splitlines()[1:4]
+        }
+        n_columns = len(result.intersections)
+        assert all(len(marks) == n_columns for marks in rows.values())

@@ -1,0 +1,96 @@
+"""Tests for the Poisson approximation and the Hodges--Le Cam bound --
+the mathematical core of the paper's shortcut."""
+
+import numpy as np
+import pytest
+
+from repro.stats.approximation import (
+    approximation_is_conclusive,
+    le_cam_bound,
+    poisson_lambda,
+    poisson_tail_approx,
+)
+from repro.stats.poisson_binomial import poibin_sf
+
+
+class TestLambda:
+    def test_is_sum(self, rng):
+        p = rng.uniform(0, 0.1, size=100)
+        assert poisson_lambda(p) == pytest.approx(p.sum())
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            poisson_lambda(np.ones((2, 2)))
+
+
+class TestLeCamBound:
+    """|p_hat - p| <= sum p_i^2 for every tail event (Hodges-Le Cam
+    1960).  This is THE correctness guarantee of the paper's filter."""
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_bound_holds_empirically(self, seed):
+        rng = np.random.default_rng(seed)
+        d = int(rng.integers(50, 400))
+        p = rng.uniform(0.0, 0.05, size=d)
+        bound = le_cam_bound(p)
+        lam = p.sum()
+        for k in (1, int(lam) + 1, int(lam) + 5, int(2 * lam) + 2):
+            exact = poibin_sf(k, p)
+            approx = poisson_tail_approx(k, p)
+            assert abs(approx - exact) <= bound + 1e-12
+
+    def test_bound_value(self):
+        p = np.array([0.1, 0.2, 0.3])
+        assert le_cam_bound(p) == pytest.approx(0.01 + 0.04 + 0.09)
+
+    def test_bound_shrinks_with_quality(self):
+        """Higher quality (smaller p) => tighter approximation."""
+        q30 = le_cam_bound(np.full(1000, 1e-3))
+        q20 = le_cam_bound(np.full(1000, 1e-2))
+        assert q30 < q20
+
+    def test_margin_dominates_bound_in_practice(self):
+        """The paper's 0.01 margin vs the bound for realistic columns:
+        at Q30/depth 1e5 the bound is 1e5 * (3.3e-4)^2 ~ 0.011 on the
+        raw scale -- same order as the margin, which is why the paper
+        calls 0.01 'intentionally conservative' rather than proven."""
+        p = np.full(100_000, 1e-3 / 3)
+        assert le_cam_bound(p) == pytest.approx(100_000 * (1e-3 / 3) ** 2)
+
+
+class TestApproxAccuracy:
+    def test_approx_close_to_exact_small_p(self, rng):
+        p = rng.uniform(0.0001, 0.002, size=2000)
+        lam = p.sum()
+        for k in (1, int(lam) + 1, int(lam) + 4):
+            assert poisson_tail_approx(k, p) == pytest.approx(
+                poibin_sf(k, p), abs=le_cam_bound(p)
+            )
+
+    def test_accuracy_improves_with_depth(self):
+        """The Discussion: 'the error in the Poisson approximation
+        vanishes asymptotically as d increases' (for fixed lambda)."""
+        lam = 4.0
+        errs = []
+        for d in (100, 1000, 10_000):
+            p = np.full(d, lam / d)
+            k = 8
+            errs.append(abs(poisson_tail_approx(k, p) - poibin_sf(k, p)))
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_k_zero(self, rng):
+        assert poisson_tail_approx(0, rng.uniform(0, 0.1, 10)) == 1.0
+
+
+class TestSkipRule:
+    def test_skip_requires_margin(self):
+        assert approximation_is_conclusive(0.07, alpha=0.05, margin=0.01)
+        assert not approximation_is_conclusive(0.055, alpha=0.05, margin=0.01)
+
+    def test_boundary_is_inclusive(self):
+        # 0.05 + 0.01 carries float round-up; compare just above it.
+        assert approximation_is_conclusive(0.0600000001, alpha=0.05, margin=0.01)
+
+    def test_small_p_hat_never_skips(self):
+        """Significant-looking columns always get the exact test."""
+        assert not approximation_is_conclusive(1e-9, alpha=0.05, margin=0.01)

@@ -1,0 +1,175 @@
+"""Unit tests for the BGZF codec."""
+
+import gzip
+import io
+
+import pytest
+
+from repro.io.bgzf import (
+    BGZF_EOF,
+    BgzfReader,
+    BgzfWriter,
+    block_offsets,
+    make_virtual_offset,
+    split_virtual_offset,
+)
+
+
+def roundtrip(payload: bytes) -> bytes:
+    buf = io.BytesIO()
+    with BgzfWriter(buf) as writer:
+        writer.write(payload)
+    buf.seek(0)
+    with BgzfReader(buf) as reader:
+        return reader.read()
+
+
+class TestVirtualOffsets:
+    def test_pack_unpack(self):
+        v = make_virtual_offset(123456, 789)
+        assert split_virtual_offset(v) == (123456, 789)
+
+    def test_within_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            make_virtual_offset(0, 1 << 16)
+
+    def test_negative_block_raises(self):
+        with pytest.raises(ValueError):
+            make_virtual_offset(-1, 0)
+
+
+class TestRoundTrip:
+    def test_small_payload(self):
+        assert roundtrip(b"hello bgzf") == b"hello bgzf"
+
+    def test_empty_payload(self):
+        assert roundtrip(b"") == b""
+
+    def test_multi_block_payload(self):
+        payload = bytes(range(256)) * 1024  # 256 KiB -> 4+ blocks
+        assert roundtrip(payload) == payload
+
+    def test_exact_block_boundary(self):
+        from repro.io.bgzf import MAX_BLOCK_DATA
+
+        payload = b"x" * (2 * MAX_BLOCK_DATA)
+        assert roundtrip(payload) == payload
+
+    def test_incompressible_data(self):
+        import random
+
+        random.seed(0)
+        payload = bytes(random.getrandbits(8) for _ in range(100_000))
+        assert roundtrip(payload) == payload
+
+
+class TestFormatCompliance:
+    def test_output_is_valid_gzip(self):
+        buf = io.BytesIO()
+        with BgzfWriter(buf) as writer:
+            writer.write(b"gzip compatible payload")
+        # Standard gzip must be able to read a BGZF file (concatenated members).
+        assert gzip.decompress(buf.getvalue()) == b"gzip compatible payload"
+
+    def test_eof_marker_present(self):
+        buf = io.BytesIO()
+        with BgzfWriter(buf) as writer:
+            writer.write(b"data")
+        assert buf.getvalue().endswith(BGZF_EOF)
+
+    def test_eof_marker_is_itself_valid_bgzf(self):
+        reader = BgzfReader(io.BytesIO(BGZF_EOF))
+        assert reader.read() == b""
+
+    def test_non_bgzf_gzip_rejected(self):
+        plain = gzip.compress(b"not bgzf")
+        with pytest.raises(ValueError, match="FEXTRA|BC"):
+            BgzfReader(io.BytesIO(plain))
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            BgzfReader(io.BytesIO(b"garbage data here"))
+
+    def test_crc_corruption_detected(self):
+        buf = io.BytesIO()
+        with BgzfWriter(buf) as writer:
+            writer.write(b"A" * 1000)
+        raw = bytearray(buf.getvalue())
+        # Flip a payload byte in the first block (after the 18-byte header).
+        raw[25] ^= 0xFF
+        with pytest.raises(Exception):  # zlib error or CRC mismatch
+            BgzfReader(io.BytesIO(bytes(raw))).read()
+
+
+class TestSeek:
+    def test_seek_to_recorded_offset(self):
+        buf = io.BytesIO()
+        writer = BgzfWriter(buf)
+        writer.write(b"A" * 1000)
+        mark = writer.tell()
+        writer.write(b"B" * 1000)
+        writer.close()
+        buf.seek(0)
+        reader = BgzfReader(buf)
+        reader.seek(mark)
+        assert reader.read(5) == b"BBBBB"
+
+    def test_seek_across_blocks(self):
+        from repro.io.bgzf import MAX_BLOCK_DATA
+
+        buf = io.BytesIO()
+        writer = BgzfWriter(buf)
+        writer.write(b"A" * MAX_BLOCK_DATA)
+        mark = writer.tell()
+        writer.write(b"C" * 10)
+        writer.close()
+        buf.seek(0)
+        reader = BgzfReader(buf)
+        assert reader.seek(mark) == reader.tell()
+        assert reader.read() == b"C" * 10
+
+    def test_tell_read_consistency(self):
+        buf = io.BytesIO()
+        with BgzfWriter(buf) as writer:
+            writer.write(bytes(range(200)))
+        buf.seek(0)
+        reader = BgzfReader(buf)
+        reader.read(100)
+        mark = reader.tell()
+        rest_a = reader.read()
+        reader.seek(mark)
+        rest_b = reader.read()
+        assert rest_a == rest_b == bytes(range(100, 200))
+
+    def test_readexact_raises_at_eof(self):
+        buf = io.BytesIO()
+        with BgzfWriter(buf) as writer:
+            writer.write(b"xy")
+        buf.seek(0)
+        reader = BgzfReader(buf)
+        with pytest.raises(EOFError):
+            reader.readexact(10)
+
+
+class TestBlockOffsets:
+    def test_offsets_enumerate_blocks(self):
+        from repro.io.bgzf import MAX_BLOCK_DATA
+
+        buf = io.BytesIO()
+        with BgzfWriter(buf) as writer:
+            writer.write(b"z" * int(MAX_BLOCK_DATA * 2.5))
+        buf.seek(0)
+        offsets = block_offsets(buf)
+        assert len(offsets) == 3
+        assert offsets[0] == 0
+        assert offsets == sorted(offsets)
+
+    def test_blocks_read_counter(self):
+        buf = io.BytesIO()
+        with BgzfWriter(buf) as writer:
+            writer.write(b"q" * 200_000)
+        buf.seek(0)
+        reader = BgzfReader(buf)
+        reader.read()
+        assert reader.blocks_read >= 3
+        assert reader.time_decompress > 0.0

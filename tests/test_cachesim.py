@@ -1,0 +1,132 @@
+"""Tests for the cache simulator and the DP/approximation traces."""
+
+import pytest
+
+from repro.cachesim.cache import SetAssociativeCache
+from repro.cachesim.traces import (
+    approx_column_trace,
+    dp_column_trace,
+    interleave_traces,
+    replay,
+)
+
+
+class TestGeometry:
+    def test_sets_computed(self):
+        c = SetAssociativeCache(size_bytes=1 << 16, line_size=64, associativity=4)
+        assert c.n_sets == (1 << 16) // (64 * 4)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(line_size=48)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(size_bytes=1000, line_size=64, associativity=4)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(associativity=0)
+
+
+class TestBehaviour:
+    def test_cold_miss_then_hit(self):
+        c = SetAssociativeCache()
+        assert c.access(0) == 1  # cold miss
+        assert c.access(0) == 0  # hit
+        assert c.access(8) == 0  # same line
+        assert c.access(64) == 1  # next line
+
+    def test_straddling_access(self):
+        c = SetAssociativeCache(line_size=64)
+        assert c.access(60, size=8) == 2  # touches two lines
+
+    def test_lru_eviction_within_set(self):
+        # Direct-mapped tiny cache: two addresses in the same set evict
+        # each other.
+        c = SetAssociativeCache(size_bytes=128, line_size=64, associativity=1)
+        a, b = 0, 128  # same set (2 sets; both map to set 0)
+        assert c.access(a) == 1
+        assert c.access(b) == 1
+        assert c.access(a) == 1  # was evicted
+
+    def test_associativity_prevents_conflict(self):
+        c = SetAssociativeCache(size_bytes=256, line_size=64, associativity=2)
+        a, b = 0, 128  # same set, 2 ways
+        c.access(a)
+        c.access(b)
+        assert c.access(a) == 0  # still resident
+
+    def test_working_set_within_capacity_converges_to_hits(self):
+        c = SetAssociativeCache(size_bytes=1 << 14, line_size=64, associativity=16)
+        addrs = list(range(0, 1 << 13, 8))  # 8 KiB working set
+        c.run(addrs)  # cold pass
+        stats = c.run(addrs * 3)  # warm passes
+        assert stats.miss_rate == 0.0
+
+    def test_cyclic_sweep_larger_than_cache_always_misses(self):
+        """Classic LRU pathology: working set = cache size + 1 line."""
+        c = SetAssociativeCache(size_bytes=1 << 10, line_size=64,
+                                associativity=16)  # fully associative
+        n_lines = (1 << 10) // 64 + 1
+        addrs = [i * 64 for i in range(n_lines)]
+        c.run(addrs)  # cold
+        stats = c.run(addrs * 5)
+        assert stats.miss_rate == 1.0
+
+    def test_contains_has_no_side_effects(self):
+        c = SetAssociativeCache()
+        c.access(0)
+        h, m = c.stats.hits, c.stats.misses
+        assert c.contains(0)
+        assert not c.contains(1 << 30)
+        assert (c.stats.hits, c.stats.misses) == (h, m)
+
+    def test_flush(self):
+        c = SetAssociativeCache()
+        c.access(0)
+        c.flush()
+        assert not c.contains(0)
+
+
+class TestTraces:
+    def test_dp_trace_length(self):
+        # d reads: 1 qual access + 2*(n+1) probvec accesses each.
+        d = 10
+        n_accesses = sum(1 + 2 * (n + 1) for n in range(d))
+        assert len(list(dp_column_trace(d))) == n_accesses
+
+    def test_approx_trace_length(self):
+        assert len(list(approx_column_trace(123))) == 123
+
+    def test_trace_thread_separation(self):
+        t0 = set(dp_column_trace(5, thread=0))
+        t1 = set(dp_column_trace(5, thread=1))
+        assert not (t0 & t1)
+
+    def test_interleave_preserves_all(self):
+        merged = list(interleave_traces([[1, 2, 3], [10, 20], [100]]))
+        assert sorted(merged) == [1, 2, 3, 10, 20, 100]
+
+    def test_negative_depth_raises(self):
+        with pytest.raises(ValueError):
+            list(dp_column_trace(-1))
+        with pytest.raises(ValueError):
+            list(approx_column_trace(-1))
+
+
+class TestPaperDirection:
+    """The Discussion claim, directionally: at depths where the DP
+    array exceeds the cache, the DP misses far more than the
+    approximation's single pass."""
+
+    def test_dp_misses_dwarf_approx_misses_at_depth(self):
+        cache = SetAssociativeCache(size_bytes=1 << 15)  # 32 KiB (tiny, fast test)
+        d = 8192  # probvec = 64 KiB > cache
+        dp_stats = replay(dp_column_trace(d, stride_reads=64), cache)
+        cache2 = SetAssociativeCache(size_bytes=1 << 15)
+        ap_stats = replay(approx_column_trace(d), cache2)
+        assert dp_stats.misses > 50 * ap_stats.misses
+
+    def test_dp_cache_resident_when_shallow(self):
+        """Below the gate depth the DP array fits: miss rate collapses
+        (why the paper keeps the original path for depth < 100)."""
+        cache = SetAssociativeCache(size_bytes=1 << 15)
+        shallow = replay(dp_column_trace(100), cache)
+        assert shallow.miss_rate < 0.01

@@ -1,0 +1,151 @@
+"""Unit tests for CIGAR parsing and algebra."""
+
+import pytest
+
+from repro.io.cigar import (
+    CigarOp,
+    aligned_pairs,
+    cigar_to_string,
+    clip_lengths,
+    collapse,
+    parse_cigar,
+    query_length,
+    reference_length,
+    validate_cigar,
+)
+
+
+class TestParse:
+    def test_simple_match(self):
+        assert parse_cigar("100M") == [(CigarOp.M, 100)]
+
+    def test_mixed_operations(self):
+        assert parse_cigar("5S10M2I3D20M") == [
+            (CigarOp.S, 5),
+            (CigarOp.M, 10),
+            (CigarOp.I, 2),
+            (CigarOp.D, 3),
+            (CigarOp.M, 20),
+        ]
+
+    def test_star_is_empty(self):
+        assert parse_cigar("*") == []
+
+    def test_empty_string_is_empty(self):
+        assert parse_cigar("") == []
+
+    def test_all_nine_operations(self):
+        cigar = parse_cigar("1M2I3D4N5S6H7P8=9X")
+        assert [op for op, _ in cigar] == [
+            CigarOp.M, CigarOp.I, CigarOp.D, CigarOp.N, CigarOp.S,
+            CigarOp.H, CigarOp.P, CigarOp.EQ, CigarOp.X,
+        ]
+        assert [length for _, length in cigar] == list(range(1, 10))
+
+    @pytest.mark.parametrize("bad", ["M", "10", "10Z", "3M4", "-3M", "3m"])
+    def test_malformed_raises(self, bad):
+        with pytest.raises(ValueError):
+            parse_cigar(bad)
+
+    def test_zero_length_raises(self):
+        with pytest.raises(ValueError):
+            parse_cigar("0M")
+
+
+class TestRender:
+    def test_round_trip(self):
+        text = "5S10M2I3D20M4H"
+        assert cigar_to_string(parse_cigar(text)) == text
+
+    def test_empty_renders_star(self):
+        assert cigar_to_string([]) == "*"
+
+
+class TestLengths:
+    def test_query_length_counts_misdnsp(self):
+        cigar = parse_cigar("5S10M2I3D20M")
+        assert query_length(cigar) == 5 + 10 + 2 + 20
+
+    def test_reference_length_counts_mdn(self):
+        cigar = parse_cigar("5S10M2I3D20M")
+        assert reference_length(cigar) == 10 + 3 + 20
+
+    def test_skip_region_consumes_reference(self):
+        assert reference_length(parse_cigar("10M100N10M")) == 120
+
+    def test_hard_clip_consumes_nothing(self):
+        assert query_length(parse_cigar("5H10M")) == 10
+        assert reference_length(parse_cigar("5H10M")) == 10
+
+    def test_eq_and_x_behave_like_m(self):
+        assert query_length(parse_cigar("5=3X")) == 8
+        assert reference_length(parse_cigar("5=3X")) == 8
+
+
+class TestClipLengths:
+    def test_both_clips(self):
+        assert clip_lengths(parse_cigar("4S10M6S")) == (4, 6)
+
+    def test_no_clips(self):
+        assert clip_lengths(parse_cigar("10M")) == (0, 0)
+
+    def test_hard_clips_ignored(self):
+        assert clip_lengths(parse_cigar("3H10M2H")) == (0, 0)
+
+
+class TestAlignedPairs:
+    def test_pure_match(self):
+        pairs = list(aligned_pairs(parse_cigar("3M"), pos=10))
+        assert pairs == [(0, 10), (1, 11), (2, 12)]
+
+    def test_insertion_has_no_reference(self):
+        pairs = list(aligned_pairs(parse_cigar("2M1I2M"), pos=0))
+        assert pairs == [(0, 0), (1, 1), (2, None), (3, 2), (4, 3)]
+
+    def test_deletion_has_no_query(self):
+        pairs = list(aligned_pairs(parse_cigar("2M1D2M"), pos=0))
+        assert pairs == [(0, 0), (1, 1), (None, 2), (2, 3), (3, 4)]
+
+    def test_soft_clip_has_no_reference(self):
+        pairs = list(aligned_pairs(parse_cigar("2S2M"), pos=5))
+        assert pairs == [(0, None), (1, None), (2, 5), (3, 6)]
+
+    def test_total_query_positions_match_query_length(self):
+        cigar = parse_cigar("3S10M2I4D8M1S")
+        q_positions = [q for q, _ in aligned_pairs(cigar, 0) if q is not None]
+        assert len(q_positions) == query_length(cigar)
+        assert q_positions == list(range(len(q_positions)))
+
+
+class TestValidate:
+    def test_valid_passes(self):
+        validate_cigar(parse_cigar("3S10M2S"), seq_len=15)
+
+    def test_seq_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="query bases"):
+            validate_cigar(parse_cigar("10M"), seq_len=12)
+
+    def test_internal_hard_clip_raises(self):
+        with pytest.raises(ValueError, match="hard clip"):
+            validate_cigar([(CigarOp.M, 5), (CigarOp.H, 2), (CigarOp.M, 5)])
+
+    def test_internal_soft_clip_raises(self):
+        with pytest.raises(ValueError, match="soft clip"):
+            validate_cigar([(CigarOp.M, 5), (CigarOp.S, 2), (CigarOp.M, 5)])
+
+    def test_soft_clip_inside_hard_clip_ok(self):
+        validate_cigar(parse_cigar("2H3S10M"), seq_len=13)
+
+
+class TestCollapse:
+    def test_merges_adjacent_same_ops(self):
+        assert collapse([(CigarOp.M, 3), (CigarOp.M, 4)]) == [(CigarOp.M, 7)]
+
+    def test_drops_zero_lengths(self):
+        assert collapse([(CigarOp.M, 3), (CigarOp.I, 0), (CigarOp.M, 2)]) == [
+            (CigarOp.M, 5)
+        ]
+
+    def test_preserves_distinct_ops(self):
+        cigar = [(CigarOp.M, 3), (CigarOp.D, 1), (CigarOp.M, 2)]
+        assert collapse(cigar) == cigar

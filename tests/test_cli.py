@@ -1,0 +1,245 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    """A simulated BAM + reference + truth VCF built via the CLI."""
+    root = tmp_path_factory.mktemp("cli")
+    bam = root / "sample.bam"
+    ref = root / "ref.fa"
+    truth = root / "truth.vcf"
+    rc = main(
+        [
+            "simulate",
+            "--genome-length", "900",
+            "--depth", "250",
+            "--variants", "6",
+            "--min-freq", "0.05",
+            "--max-freq", "0.2",
+            "--seed", "21",
+            "--out-bam", str(bam),
+            "--out-reference", str(ref),
+            "--out-truth", str(truth),
+        ]
+    )
+    assert rc == 0
+    return root
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["simulate", "--out-bam", "x.bam"],
+            ["call", "in.bam", "--reference", "r.fa", "--out", "o.vcf"],
+            ["compare", "a.vcf", "b.vcf"],
+            ["upset", "a.vcf", "b.vcf"],
+        ],
+    )
+    def test_valid_invocations_parse(self, argv):
+        args = build_parser().parse_args(argv)
+        assert args.command == argv[0]
+
+
+class TestSimulate:
+    def test_outputs_exist(self, workspace):
+        assert (workspace / "sample.bam").stat().st_size > 0
+        assert (workspace / "ref.fa").stat().st_size > 0
+        assert (workspace / "truth.vcf").stat().st_size > 0
+
+    def test_truth_vcf_well_formed(self, workspace):
+        from repro.io.vcf import read_vcf
+
+        headers, records = read_vcf(workspace / "truth.vcf")
+        assert len(records) == 6
+        assert all("AF" in r.info for r in records)
+
+    def test_bam_is_readable(self, workspace):
+        from repro.io.bam import BamReader
+
+        with BamReader(workspace / "sample.bam") as reader:
+            n = sum(1 for _ in reader)
+        assert n > 1000
+
+
+class TestCall:
+    def test_call_improved(self, workspace, capsys):
+        out = workspace / "calls.vcf"
+        rc = main(
+            [
+                "call", str(workspace / "sample.bam"),
+                "--reference", str(workspace / "ref.fa"),
+                "--out", str(out),
+                "--stats",
+            ]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "PASS calls" in text
+        assert "approx first-pass" in text
+        assert out.exists()
+
+    def test_call_recovers_truth(self, workspace):
+        from repro.io.vcf import read_vcf
+
+        out = workspace / "calls2.vcf"
+        main(
+            [
+                "call", str(workspace / "sample.bam"),
+                "--reference", str(workspace / "ref.fa"),
+                "--out", str(out),
+            ]
+        )
+        _, calls = read_vcf(out)
+        _, truth = read_vcf(workspace / "truth.vcf")
+        called = {(r.pos, r.ref, r.alt) for r in calls if r.filter == "PASS"}
+        expected = {(r.pos, r.ref, r.alt) for r in truth}
+        assert expected <= called
+
+    def test_original_and_improved_agree(self, workspace):
+        from repro.io.vcf import read_vcf
+
+        outs = {}
+        for algo in ("improved", "original"):
+            out = workspace / f"calls_{algo}.vcf"
+            main(
+                [
+                    "call", str(workspace / "sample.bam"),
+                    "--reference", str(workspace / "ref.fa"),
+                    "--out", str(out),
+                    "--algorithm", algo,
+                ]
+            )
+            _, records = read_vcf(out)
+            outs[algo] = {(r.pos, r.ref, r.alt) for r in records}
+        assert outs["improved"] == outs["original"]
+
+    def test_parallel_call(self, workspace):
+        from repro.io.vcf import read_vcf
+
+        out = workspace / "calls_par.vcf"
+        rc = main(
+            [
+                "call", str(workspace / "sample.bam"),
+                "--reference", str(workspace / "ref.fa"),
+                "--out", str(out),
+                "--workers", "3",
+            ]
+        )
+        assert rc == 0
+        _, serial = read_vcf(workspace / "calls2.vcf")
+        _, par = read_vcf(out)
+        assert {(r.pos, r.alt) for r in par} == {(r.pos, r.alt) for r in serial}
+
+    def test_region_option(self, workspace):
+        from repro.io.vcf import read_vcf
+
+        out = workspace / "calls_region.vcf"
+        main(
+            [
+                "call", str(workspace / "sample.bam"),
+                "--reference", str(workspace / "ref.fa"),
+                "--out", str(out),
+                "--region", "NC_045512.2-sim:1-300",
+            ]
+        )
+        _, records = read_vcf(out)
+        assert all(r.pos < 300 for r in records)
+
+    def test_bad_reference_errors(self, workspace, tmp_path):
+        from repro.io.fasta import FastaRecord, write_fasta
+
+        bad_ref = tmp_path / "wrong.fa"
+        write_fasta(bad_ref, [FastaRecord("other", "", "ACGT" * 100)])
+        rc = main(
+            [
+                "call", str(workspace / "sample.bam"),
+                "--reference", str(bad_ref),
+                "--out", str(tmp_path / "x.vcf"),
+            ]
+        )
+        assert rc == 2
+
+
+class TestCompareUpset:
+    def test_compare_identical(self, workspace, capsys):
+        rc = main(
+            ["compare", str(workspace / "calls2.vcf"), str(workspace / "calls2.vcf")]
+        )
+        assert rc == 0
+        assert "jaccard 1.000" in capsys.readouterr().out
+
+    def test_compare_different(self, workspace, capsys):
+        rc = main(
+            ["compare", str(workspace / "calls2.vcf"), str(workspace / "truth.vcf")]
+        )
+        # truth has filter '.', compare counts it; sets may differ -> rc 1 or 0
+        out = capsys.readouterr().out
+        assert "shared" in out
+
+    def test_upset_renders(self, workspace, capsys):
+        rc = main(
+            [
+                "upset",
+                str(workspace / "calls2.vcf"),
+                str(workspace / "truth.vcf"),
+                "--labels", "calls", "truth",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "calls" in out and "truth" in out
+        assert "Set totals:" in out
+
+    def test_upset_label_mismatch(self, workspace, capsys):
+        rc = main(
+            [
+                "upset", str(workspace / "calls2.vcf"),
+                "--labels", "a", "b",
+            ]
+        )
+        assert rc == 2
+
+
+class TestLegacyParallelFlag:
+    def test_legacy_flag_runs_and_warns(self, workspace, capsys):
+        out = workspace / "calls_legacy.vcf"
+        rc = main(
+            [
+                "call", str(workspace / "sample.bam"),
+                "--reference", str(workspace / "ref.fa"),
+                "--out", str(out),
+                "--legacy-parallel", "--workers", "4",
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "double-filtering" in captured.err
+        assert out.exists()
+
+    def test_legacy_flag_output_well_formed(self, workspace):
+        from repro.io.vcf import read_vcf
+
+        out = workspace / "calls_legacy2.vcf"
+        main(
+            [
+                "call", str(workspace / "sample.bam"),
+                "--reference", str(workspace / "ref.fa"),
+                "--out", str(out),
+                "--legacy-parallel", "--workers", "2",
+            ]
+        )
+        _, records = read_vcf(out)
+        assert records, "legacy mode should still find the strong variants"

@@ -1,0 +1,133 @@
+"""End-to-end caller tests: sensitivity, specificity and the paper's
+headline equivalence claim."""
+
+import numpy as np
+import pytest
+
+from repro.core.caller import VariantCaller
+from repro.core.config import CallerConfig
+from repro.io.regions import Region
+
+
+class TestRecovery:
+    def test_recovers_panel_at_depth(self, sample, panel):
+        result = VariantCaller(CallerConfig.improved()).call_sample(sample)
+        called = {(c.pos, c.ref, c.alt) for c in result.passed}
+        truth = {(v.pos, v.ref, v.alt) for v in panel}
+        # 5-20% variants at 200x: all recoverable.
+        assert truth <= called
+
+    def test_no_false_positives_on_null(self, null_sample):
+        result = VariantCaller(CallerConfig.improved()).call_sample(null_sample)
+        assert result.passed == []
+
+    def test_original_no_false_positives_on_null(self, null_sample):
+        result = VariantCaller(CallerConfig.original()).call_sample(null_sample)
+        assert result.passed == []
+
+    def test_call_fields_consistent(self, sample):
+        result = VariantCaller().call_sample(sample)
+        for call in result.passed:
+            assert 0 < call.alt_count <= call.depth
+            assert call.af == pytest.approx(call.alt_count / call.depth)
+            assert call.pvalue <= call.corrected_pvalue <= 1.0
+            rf, rr, af_, ar = call.dp4
+            assert af_ + ar == call.alt_count
+            assert call.quality > 0
+
+    def test_calls_sorted_by_position(self, sample):
+        result = VariantCaller().call_sample(sample)
+        positions = [c.pos for c in result.calls]
+        assert positions == sorted(positions)
+
+
+class TestEquivalenceClaim:
+    """Table I: 'the number of variants called was identical between
+    versions' -- here strengthened to identical call *sets*."""
+
+    def test_identical_at_200x(self, sample):
+        improved = VariantCaller(CallerConfig.improved()).call_sample(sample)
+        original = VariantCaller(CallerConfig.original()).call_sample(sample)
+        assert improved.keys() == original.keys()
+
+    def test_identical_at_1500x(self, deep_sample):
+        improved = VariantCaller(CallerConfig.improved()).call_sample(deep_sample)
+        original = VariantCaller(CallerConfig.original()).call_sample(deep_sample)
+        assert improved.keys() == original.keys()
+        # And the approximation must actually have fired at this depth.
+        assert improved.stats.exact_skipped > 0
+
+    def test_improved_does_less_dp_work(self, deep_sample):
+        improved = VariantCaller(CallerConfig.improved()).call_sample(deep_sample)
+        original = VariantCaller(CallerConfig.original()).call_sample(deep_sample)
+        # Most allele tests are resolved without invoking the DP at
+        # all (the called columns still run it in full, in both modes).
+        assert improved.stats.dp_invocations < original.stats.dp_invocations / 5
+        assert improved.stats.dp_steps < original.stats.dp_steps
+
+    def test_zero_margin_still_subset(self, deep_sample):
+        """Even with margin 0 (no safety margin at all) the improved
+        caller can only lose calls, never gain."""
+        aggressive = VariantCaller(
+            CallerConfig.improved(approx_margin=0.0)
+        ).call_sample(deep_sample)
+        original = VariantCaller(CallerConfig.original()).call_sample(deep_sample)
+        assert aggressive.keys() <= original.keys()
+
+
+class TestSubstrates:
+    """The same sample through every input path gives the same calls."""
+
+    def test_reads_path_matches_sample_path(self, sample, genome, whole_region):
+        caller = VariantCaller()
+        via_sample = caller.call_sample(sample)
+        via_reads = caller.call_reads(
+            sample.reads(), genome.sequence, whole_region
+        )
+        assert via_sample.keys() == via_reads.keys()
+
+    def test_bam_path_matches_sample_path(self, sample, genome, tmp_path):
+        caller = VariantCaller()
+        bam = tmp_path / "sample.bam"
+        sample.write_bam(bam)
+        via_sample = caller.call_sample(sample)
+        via_bam = caller.call_bam(bam, genome.sequence)
+        assert via_sample.keys() == via_bam.keys()
+
+    def test_region_restriction(self, sample, genome, panel):
+        positions = sorted(v.pos for v in panel)
+        mid = positions[len(positions) // 2]
+        region = Region(genome.name, 0, mid)
+        result = VariantCaller().call_sample(sample, region=region)
+        assert all(c.pos < mid for c in result.passed)
+        truth_in_region = {
+            (v.pos, v.ref, v.alt) for v in panel if v.pos < mid
+        }
+        assert truth_in_region <= {(c.pos, c.ref, c.alt) for c in result.passed}
+
+    def test_region_restriction_uses_region_bonferroni(self, sample, genome):
+        """Smaller regions mean fewer tests -> looser threshold; the
+        caller must use the region length, not the genome length."""
+        region = Region(genome.name, 0, 100)
+        caller = VariantCaller(CallerConfig(bonferroni=None))
+        assert caller.config.corrected_alpha(len(region)) == pytest.approx(
+            0.05 / 300
+        )
+
+
+class TestFilters:
+    def test_filter_stage_annotates(self, sample):
+        from repro.core.filters import DynamicFilterPolicy
+
+        caller = VariantCaller(
+            filter_policy=DynamicFilterPolicy(min_depth=10_000)
+        )
+        result = caller.call_sample(sample)
+        # Everything fails min_dp at 200x.
+        assert result.passed == []
+        assert all("min_dp" in c.filter for c in result.calls)
+
+    def test_no_filter_policy(self, sample):
+        caller = VariantCaller(filter_policy=None)
+        result = caller.call_sample(sample)
+        assert all(c.filter == "PASS" for c in result.calls)

@@ -1,0 +1,100 @@
+"""Tests for CallerConfig and the error model."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CallerConfig
+from repro.core.model import (
+    MISCALL_FRACTION,
+    allele_error_probabilities,
+    candidate_alleles,
+)
+from repro.pileup.column import BASE_TO_CODE, PileupColumn
+
+
+def make_column(bases, ref="A", quals=None):
+    codes = np.array([BASE_TO_CODE[b] for b in bases], dtype=np.uint8)
+    n = len(bases)
+    return PileupColumn(
+        chrom="c", pos=0, ref_base=ref,
+        base_codes=codes,
+        quals=np.array(quals or [30] * n, dtype=np.uint8),
+        reverse=np.zeros(n, dtype=bool),
+        mapqs=np.full(n, 60, dtype=np.uint8),
+    )
+
+
+class TestConfig:
+    def test_presets(self):
+        assert CallerConfig.improved().use_approximation
+        assert not CallerConfig.original().use_approximation
+
+    def test_paper_defaults(self):
+        cfg = CallerConfig.improved()
+        assert cfg.alpha == 0.05
+        assert cfg.approx_margin == 0.01
+        assert cfg.approx_min_depth == 100
+
+    def test_dynamic_bonferroni(self):
+        cfg = CallerConfig()
+        assert cfg.n_tests(1000) == 3000
+        assert cfg.corrected_alpha(1000) == pytest.approx(0.05 / 3000)
+
+    def test_explicit_bonferroni(self):
+        cfg = CallerConfig(bonferroni=500)
+        assert cfg.n_tests(123456) == 500
+
+    def test_adaptive_margin_shrinks_with_depth(self):
+        cfg = CallerConfig(adaptive_margin=1000)
+        assert cfg.margin_for_depth(500) == cfg.approx_margin
+        assert cfg.margin_for_depth(4000) == pytest.approx(
+            cfg.approx_margin * 0.5
+        )
+        assert cfg.margin_for_depth(100_000) < cfg.margin_for_depth(10_000)
+
+    def test_constant_margin_without_adaptive(self):
+        cfg = CallerConfig()
+        assert cfg.margin_for_depth(10) == cfg.margin_for_depth(1_000_000)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": 0.0},
+            {"alpha": 1.0},
+            {"approx_margin": -0.1},
+            {"approx_min_depth": -1},
+            {"bonferroni": 0},
+            {"min_af": 1.5},
+            {"min_coverage": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            CallerConfig(**kwargs)
+
+
+class TestErrorModel:
+    def test_specific_allele_divides_by_three(self):
+        col = make_column("AAAA", quals=[30, 30, 30, 30])
+        probs = allele_error_probabilities(col)
+        assert np.allclose(probs, 1e-3 * MISCALL_FRACTION)
+
+    def test_full_depth_vector(self):
+        col = make_column("AATT")
+        assert allele_error_probabilities(col).shape == (4,)
+
+    def test_candidates_exclude_ref_and_n(self):
+        col = make_column("AATTGN", ref="A")
+        cands = candidate_alleles(col)
+        codes = [c for c, _ in cands]
+        assert BASE_TO_CODE["A"] not in codes
+        assert BASE_TO_CODE["N"] not in codes
+
+    def test_candidates_sorted_by_count(self):
+        col = make_column("AATTTG", ref="A")
+        cands = candidate_alleles(col)
+        assert cands[0] == (BASE_TO_CODE["T"], 3)
+        assert cands[1] == (BASE_TO_CODE["G"], 1)
+
+    def test_no_candidates_on_clean_column(self):
+        assert candidate_alleles(make_column("AAAA", ref="A")) == []

@@ -1,0 +1,115 @@
+"""Tests for the dynamic filter machinery and the double-filter bug."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.filters import (
+    DynamicFilterPolicy,
+    apply_filters,
+    filter_once,
+    filter_twice,
+)
+from repro.core.results import VariantCall
+
+
+def make_call(pos=0, sb=0.0, depth=100, af=0.05, alt="T"):
+    return VariantCall(
+        chrom="c",
+        pos=pos,
+        ref="A",
+        alt=alt,
+        pvalue=1e-10,
+        corrected_pvalue=1e-6,
+        depth=depth,
+        alt_count=max(1, int(depth * af)),
+        af=af,
+        dp4=(40, 40, 5, 5),
+        strand_bias=sb,
+    )
+
+
+class TestPolicyFit:
+    def test_cutoff_depends_on_call_count(self):
+        policy = DynamicFilterPolicy(sb_alpha=0.001, holm=True)
+        few = policy.fit([make_call(pos=i) for i in range(10)])
+        many = policy.fit([make_call(pos=i) for i in range(1000)])
+        assert many.sb_phred_cutoff > few.sb_phred_cutoff
+        assert few.fitted_on == 10
+        assert many.fitted_on == 1000
+
+    def test_plain_bonferroni_is_constant(self):
+        policy = DynamicFilterPolicy(holm=False)
+        a = policy.fit([make_call(pos=i) for i in range(10)])
+        b = policy.fit([make_call(pos=i) for i in range(1000)])
+        assert a.sb_phred_cutoff == b.sb_phred_cutoff
+
+    def test_cutoff_value(self):
+        policy = DynamicFilterPolicy(sb_alpha=0.001, holm=True)
+        t = policy.fit([make_call()])
+        assert t.sb_phred_cutoff == pytest.approx(30.0)  # -10log10(0.001)
+
+
+class TestApply:
+    def test_pass_and_fail_labels(self):
+        policy = DynamicFilterPolicy(sb_alpha=0.001)
+        calls = [make_call(sb=5.0), make_call(pos=1, sb=500.0)]
+        out = apply_filters(calls, policy.fit(calls))
+        assert out[0].filter == "PASS"
+        assert "sb" in out[1].filter
+
+    def test_multiple_failures_joined(self):
+        policy = DynamicFilterPolicy(min_depth=1000, min_af=0.5)
+        calls = [make_call(sb=900.0, depth=10, af=0.1)]
+        out = apply_filters(calls, policy.fit(calls))
+        assert set(out[0].filter.split(";")) == {"sb", "min_dp", "min_af"}
+
+    def test_originals_not_mutated(self):
+        calls = [make_call(sb=900.0)]
+        apply_filters(calls, DynamicFilterPolicy().fit(calls))
+        assert calls[0].filter == "PASS"  # input untouched
+
+
+class TestDoubleFilterBug:
+    """The mechanism behind the paper's Discussion bug report."""
+
+    def _borderline_calls(self):
+        # Strand-bias scores straddling the cutoffs that different
+        # call-set sizes produce: Holm cutoff is 30 for n=1, ~60 for
+        # n=1000 at sb_alpha=1e-3.
+        return [make_call(pos=i, sb=sb) for i, sb in enumerate(
+            [5, 10, 33, 36, 39, 45, 50, 200]
+        )]
+
+    def test_partitioning_changes_output(self):
+        calls = self._borderline_calls()
+        policy = DynamicFilterPolicy(sb_alpha=0.001)
+        whole = {c.pos for c in filter_twice([calls], policy)
+                 if c.filter == "PASS"}
+        halves = {c.pos for c in filter_twice(
+            [calls[:4], calls[4:]], policy) if c.filter == "PASS"}
+        singles = {c.pos for c in filter_twice(
+            [[c] for c in calls], policy) if c.filter == "PASS"}
+        # The buggy pipeline's output depends on the partitioning.
+        assert not (whole == halves == singles)
+
+    def test_single_stage_is_partition_independent(self):
+        """filter_once sees the full call set by construction, so its
+        output is trivially stable -- the OpenMP fix's guarantee."""
+        calls = self._borderline_calls()
+        policy = DynamicFilterPolicy(sb_alpha=0.001)
+        a = {c.pos for c in filter_once(calls, policy) if c.filter == "PASS"}
+        b = {c.pos for c in filter_once(list(reversed(calls)), policy)
+             if c.filter == "PASS"}
+        assert a == b
+
+    def test_double_filter_can_lose_calls_vs_single(self):
+        calls = self._borderline_calls()
+        policy = DynamicFilterPolicy(sb_alpha=0.001)
+        single = {c.pos for c in filter_once(calls, policy)
+                  if c.filter == "PASS"}
+        double = {c.pos for c in filter_twice(
+            [[c] for c in calls], policy) if c.filter == "PASS"}
+        # Per-call partitions use the strictest cutoff (n=1 -> 30):
+        # borderline calls above 30 die in stage one.
+        assert double < single

@@ -1,0 +1,151 @@
+"""Tests for the Figure 1b decision workflow."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CallerConfig
+from repro.core.results import ColumnDecision, RunStats
+from repro.core.workflow import decide_allele, evaluate_column
+from repro.pileup.column import BASE_TO_CODE, PileupColumn
+
+
+def make_column(bases, ref="A", qual=30, pos=0):
+    codes = np.array([BASE_TO_CODE[b] for b in bases], dtype=np.uint8)
+    n = len(bases)
+    rng = np.random.default_rng(1)
+    return PileupColumn(
+        chrom="c", pos=pos, ref_base=ref,
+        base_codes=codes,
+        quals=np.full(n, qual, dtype=np.uint8),
+        reverse=rng.random(n) < 0.5,
+        mapqs=np.full(n, 60, dtype=np.uint8),
+    )
+
+
+def noise_column(depth, n_alt, ref="A", alt="T", qual=30):
+    bases = [ref] * (depth - n_alt) + [alt] * n_alt
+    return make_column("".join(bases), ref=ref, qual=qual)
+
+
+class TestDecisions:
+    def test_low_coverage_short_circuit(self):
+        stats = RunStats()
+        col = make_column("AAT")
+        calls = evaluate_column(col, 1e-5, CallerConfig(min_coverage=10), stats)
+        assert calls == []
+        assert stats.decisions == {ColumnDecision.LOW_COVERAGE.value: 1}
+
+    def test_no_candidate(self):
+        stats = RunStats()
+        col = make_column("A" * 20)
+        calls = evaluate_column(col, 1e-5, CallerConfig(), stats)
+        assert calls == []
+        assert stats.decisions == {ColumnDecision.NO_CANDIDATE.value: 1}
+
+    def test_clear_variant_called_by_both_modes(self):
+        col = noise_column(depth=500, n_alt=50)  # 10% AF at Q30: huge signal
+        for cfg in (CallerConfig.improved(), CallerConfig.original()):
+            stats = RunStats()
+            calls = evaluate_column(col, 1e-5, cfg, stats)
+            assert len(calls) == 1
+            assert calls[0].alt == "T"
+            assert calls[0].alt_count == 50
+            assert calls[0].used_exact
+
+    def test_noise_column_skipped_by_improved(self):
+        """K ~ lambda: improved resolves via approximation alone."""
+        depth = 2000
+        lam = depth * 1e-3 / 3  # ~0.67 expected specific-allele errors
+        col = noise_column(depth=depth, n_alt=1)
+        stats = RunStats()
+        calls = evaluate_column(col, 1e-5, CallerConfig.improved(), stats)
+        assert calls == []
+        assert stats.exact_skipped == 1
+        assert stats.dp_invocations == 0
+
+    def test_original_never_uses_approximation(self):
+        col = noise_column(depth=2000, n_alt=1)
+        stats = RunStats()
+        evaluate_column(col, 1e-5, CallerConfig.original(), stats)
+        assert stats.approx_invocations == 0
+
+    def test_depth_gate_disables_approximation(self):
+        """Below approx_min_depth the improved caller behaves exactly
+        like the original (paper: gate at depth 100)."""
+        col = noise_column(depth=50, n_alt=1)
+        stats = RunStats()
+        evaluate_column(
+            col, 1e-5, CallerConfig.improved(approx_min_depth=100), stats
+        )
+        assert stats.approx_invocations == 0
+        assert stats.dp_invocations == 1
+
+    def test_borderline_phat_falls_through_to_exact(self):
+        """p_hat below alpha+margin must trigger the exact DP."""
+        # 5 alt reads at depth 300, Q30: lambda=0.1, p_hat tiny -> exact.
+        col = noise_column(depth=300, n_alt=5)
+        stats = RunStats()
+        cfg = CallerConfig.improved(approx_min_depth=100)
+        calls = evaluate_column(col, 1e-5, cfg, stats)
+        assert stats.approx_invocations == 1
+        assert stats.exact_skipped == 0
+        assert stats.dp_invocations == 1
+        assert len(calls) == 1
+
+    def test_min_alt_count_filter(self):
+        col = noise_column(depth=300, n_alt=1, qual=41)
+        stats = RunStats()
+        cfg = CallerConfig(min_alt_count=2, use_approximation=False,
+                           bonferroni=1)
+        calls = evaluate_column(col, 0.05, cfg, stats)
+        # Even if significant, 1 supporting read < min_alt_count.
+        assert calls == []
+
+
+class TestSubsetGuarantee:
+    """The paper's safety property: improved calls are a subset of
+    original calls on ANY column (here: randomized columns)."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_improved_subset_of_original(self, seed):
+        rng = np.random.default_rng(seed)
+        depth = int(rng.integers(100, 2000))
+        n_alt = int(rng.integers(0, max(2, depth // 50)))
+        qual = int(rng.integers(20, 41))
+        col = noise_column(depth=depth, n_alt=n_alt, qual=qual)
+        alpha_corr = 10.0 ** -float(rng.uniform(3, 7))
+        improved = evaluate_column(
+            col, alpha_corr, CallerConfig.improved(), RunStats()
+        )
+        original = evaluate_column(
+            col, alpha_corr, CallerConfig.original(), RunStats()
+        )
+        imp_keys = {c.key for c in improved}
+        orig_keys = {c.key for c in original}
+        assert imp_keys <= orig_keys
+
+
+class TestStatsAccounting:
+    def test_dp_steps_counted(self):
+        col = noise_column(depth=400, n_alt=40)
+        stats = RunStats()
+        evaluate_column(col, 1e-5, CallerConfig.original(), stats)
+        assert stats.dp_steps == 400  # significant column: full DP
+
+    def test_skip_fraction(self):
+        stats = RunStats()
+        stats.tests_run = 10
+        stats.exact_skipped = 4
+        assert stats.skip_fraction() == pytest.approx(0.4)
+
+    def test_merge_accumulates(self):
+        a = RunStats(columns_seen=2, dp_steps=10)
+        a.record_decision(ColumnDecision.CALLED)
+        b = RunStats(columns_seen=3, dp_steps=5)
+        b.record_decision(ColumnDecision.CALLED)
+        b.record_decision(ColumnDecision.SKIPPED_APPROX)
+        a.merge(b)
+        assert a.columns_seen == 5
+        assert a.dp_steps == 15
+        assert a.decisions[ColumnDecision.CALLED.value] == 2
+        assert a.decisions[ColumnDecision.SKIPPED_APPROX.value] == 1

@@ -1,0 +1,107 @@
+"""Tests for the DFT-CF exact method and the refined normal
+approximation (the paper's references [12] and [11])."""
+
+import numpy as np
+import pytest
+
+from repro.stats.dftcf import poibin_pmf_dftcf, poibin_sf_dftcf
+from repro.stats.normal_approx import (
+    poibin_cdf_refined_normal,
+    poibin_sf_refined_normal,
+)
+from repro.stats.poisson_binomial import poibin_pmf_dp, poibin_sf, poibin_sf_brute_force
+
+
+class TestDftCf:
+    def test_matches_dp_small(self, rng):
+        p = rng.uniform(0, 1, size=10)
+        assert np.allclose(poibin_pmf_dftcf(p), poibin_pmf_dp(p), atol=1e-12)
+
+    def test_matches_dp_moderate(self, rng):
+        p = rng.uniform(0.0001, 0.05, size=800)
+        assert np.allclose(poibin_pmf_dftcf(p), poibin_pmf_dp(p), atol=1e-10)
+
+    def test_matches_brute_force(self, rng):
+        p = rng.uniform(0, 1, size=9)
+        for k in range(10):
+            assert poibin_sf_dftcf(k, p) == pytest.approx(
+                poibin_sf_brute_force(k, p), abs=1e-10
+            )
+
+    def test_block_boundary_sizes(self, rng):
+        """Sizes straddling the internal CF block size must agree."""
+        for d in (255, 256, 257, 512):
+            p = rng.uniform(0.001, 0.01, size=d)
+            assert poibin_sf_dftcf(2, p) == pytest.approx(
+                poibin_sf(2, p), rel=1e-8, abs=1e-12
+            )
+
+    def test_sums_to_one(self, rng):
+        p = rng.uniform(0, 0.3, size=300)
+        assert poibin_pmf_dftcf(p).sum() == pytest.approx(1.0, rel=1e-10)
+
+    def test_no_negative_entries(self, rng):
+        p = rng.uniform(0, 1, size=100)
+        assert (poibin_pmf_dftcf(p) >= 0).all()
+
+    def test_k_edge_cases(self):
+        p = np.array([0.5, 0.5])
+        assert poibin_sf_dftcf(0, p) == 1.0
+        assert poibin_sf_dftcf(3, p) == 0.0
+
+    def test_invalid_input_raises(self):
+        with pytest.raises(ValueError):
+            poibin_pmf_dftcf(np.array([1.5]))
+
+
+class TestRefinedNormal:
+    def test_tracks_exact_at_depth(self, rng):
+        """RNA error shrinks with d; for a lambda ~ 11 count
+        distribution the skew-corrected cdf lands within ~1e-2."""
+        p = rng.uniform(0.001, 0.01, size=2000)
+        pmf = poibin_pmf_dp(p)
+        cdf_exact = np.cumsum(pmf)
+        mean = p.sum()
+        for k in (int(mean) - 5, int(mean), int(mean) + 5, int(mean) + 10):
+            approx = poibin_cdf_refined_normal(k, p)
+            assert approx == pytest.approx(float(cdf_exact[k]), abs=1e-2)
+
+    def test_beats_uncorrected_normal(self, rng):
+        """The skewness term must actually help in the small-p regime."""
+        import math
+
+        p = rng.uniform(0.001, 0.01, size=2000)
+        pmf = poibin_pmf_dp(p)
+        cdf_exact = np.cumsum(pmf)
+        mu = p.sum()
+        sigma = math.sqrt(float((p * (1 - p)).sum()))
+        err_rna = err_plain = 0.0
+        for k in range(int(mu) - 6, int(mu) + 11):
+            plain = 0.5 * math.erfc(-((k + 0.5 - mu) / sigma) / math.sqrt(2))
+            err_plain = max(err_plain, abs(plain - float(cdf_exact[k])))
+            err_rna = max(
+                err_rna,
+                abs(poibin_cdf_refined_normal(k, p) - float(cdf_exact[k])),
+            )
+        assert err_rna < err_plain
+
+    def test_sf_complementarity(self, rng):
+        p = rng.uniform(0.01, 0.05, size=500)
+        for k in (3, 8, 15):
+            total = poibin_cdf_refined_normal(k - 1, p) + poibin_sf_refined_normal(k, p)
+            assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_k_zero_is_one(self, rng):
+        assert poibin_sf_refined_normal(0, rng.uniform(0, 1, 10)) == 1.0
+
+    def test_degenerate_variance(self):
+        p = np.array([1.0, 1.0, 0.0])
+        # Point mass at 2.
+        assert poibin_cdf_refined_normal(1, p) == 0.0
+        assert poibin_cdf_refined_normal(2, p) == 1.0
+
+    def test_clipped_to_unit_interval(self, rng):
+        p = rng.uniform(0.4, 0.6, size=5)
+        for k in range(6):
+            v = poibin_cdf_refined_normal(k, p)
+            assert 0.0 <= v <= 1.0

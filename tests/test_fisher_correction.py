@@ -1,0 +1,98 @@
+"""Tests for Fisher's exact test (vs SciPy) and Bonferroni correction."""
+
+import pytest
+from scipy import stats as sstats
+
+from repro.stats.correction import (
+    ALT_ALLELES_PER_SITE,
+    bonferroni_alpha,
+    default_test_count,
+)
+from repro.stats.fisher import fisher_exact, hypergeom_log_pmf, strand_bias_phred
+
+TABLES = [
+    ((8, 2), (1, 5)),
+    ((10, 10), (10, 10)),
+    ((0, 5), (5, 0)),
+    ((100, 50), (40, 110)),
+    ((1, 0), (0, 1)),
+    ((0, 0), (0, 3)),
+    ((500, 480), (12, 3)),
+]
+
+
+class TestFisherExact:
+    @pytest.mark.parametrize("table", TABLES)
+    def test_two_sided_matches_scipy(self, table):
+        expected = sstats.fisher_exact(table, alternative="two-sided")[1]
+        assert fisher_exact(table) == pytest.approx(expected, rel=1e-9, abs=1e-12)
+
+    @pytest.mark.parametrize("table", TABLES)
+    def test_greater_matches_scipy(self, table):
+        expected = sstats.fisher_exact(table, alternative="greater")[1]
+        assert fisher_exact(table, "greater") == pytest.approx(
+            expected, rel=1e-9, abs=1e-12
+        )
+
+    @pytest.mark.parametrize("table", TABLES)
+    def test_less_matches_scipy(self, table):
+        expected = sstats.fisher_exact(table, alternative="less")[1]
+        assert fisher_exact(table, "less") == pytest.approx(
+            expected, rel=1e-9, abs=1e-12
+        )
+
+    def test_empty_table(self):
+        assert fisher_exact(((0, 0), (0, 0))) == 1.0
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            fisher_exact(((1, -1), (0, 2)))
+
+    def test_unknown_alternative_raises(self):
+        with pytest.raises(ValueError):
+            fisher_exact(((1, 1), (1, 1)), "sideways")
+
+    def test_hypergeom_log_pmf_matches_scipy(self):
+        # scipy.stats.hypergeom(M, n, N).pmf(k)
+        import math
+
+        for k, M, n, N in [(2, 20, 7, 12), (0, 10, 3, 3), (5, 50, 25, 10)]:
+            got = math.exp(hypergeom_log_pmf(k, M, n, N))
+            want = sstats.hypergeom(M, n, N).pmf(k)
+            assert got == pytest.approx(want, rel=1e-10)
+
+
+class TestStrandBias:
+    def test_balanced_strands_low_score(self):
+        # Alt spread evenly across strands like the ref: no bias.
+        assert strand_bias_phred(500, 500, 10, 10) < 1.0
+
+    def test_one_sided_alt_high_score(self):
+        # All alt reads on one strand: strong bias.
+        assert strand_bias_phred(500, 500, 20, 0) > 13.0
+
+    def test_monotone_in_imbalance(self):
+        balanced = strand_bias_phred(100, 100, 5, 5)
+        skewed = strand_bias_phred(100, 100, 10, 0)
+        assert skewed > balanced
+
+    def test_capped(self):
+        assert strand_bias_phred(10_000, 10_000, 300, 0) <= 2000.0
+
+
+class TestBonferroni:
+    def test_default_test_count(self):
+        assert default_test_count(29_903) == 29_903 * ALT_ALLELES_PER_SITE
+
+    def test_alpha_division(self):
+        assert bonferroni_alpha(0.05, 1000) == pytest.approx(5e-5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            bonferroni_alpha(0.0, 10)
+        with pytest.raises(ValueError):
+            bonferroni_alpha(1.5, 10)
+        with pytest.raises(ValueError):
+            bonferroni_alpha(0.05, 0)
+        with pytest.raises(ValueError):
+            default_test_count(0)

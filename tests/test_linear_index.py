@@ -1,0 +1,94 @@
+"""Unit tests for the linear BAM index."""
+
+import numpy as np
+import pytest
+
+from repro.io.bam import BamReader, write_bam
+from repro.io.linear_index import LinearIndex, build_index
+from repro.io.records import AlignedRead, SamHeader
+
+
+@pytest.fixture
+def indexed_bam(tmp_path):
+    header = SamHeader(references=[("chr1", 100_000)], sort_order="coordinate")
+    reads = [
+        AlignedRead.simple(f"r{i}", "chr1", i * 7, "ACGTACGTAC", [30] * 10)
+        for i in range(1000)
+    ]
+    path = tmp_path / "idx.bam"
+    write_bam(path, header, reads)
+    return path
+
+
+class TestBuild:
+    def test_checkpoints_at_granularity(self, indexed_bam):
+        index = build_index(indexed_bam, granularity=100)
+        assert len(index.checkpoints) == 10  # 1000 reads / 100
+        positions = [p for p, _ in index.checkpoints]
+        assert positions == sorted(positions)
+
+    def test_max_read_span(self, indexed_bam):
+        index = build_index(indexed_bam)
+        assert index.max_read_span == 10
+
+    def test_unsorted_bam_rejected(self, tmp_path):
+        header = SamHeader(references=[("chr1", 1000)])
+        reads = [
+            AlignedRead.simple("a", "chr1", 50, "AC", [30, 30]),
+            AlignedRead.simple("b", "chr1", 10, "AC", [30, 30]),
+        ]
+        path = tmp_path / "unsorted.bam"
+        write_bam(path, header, reads)
+        with pytest.raises(ValueError, match="unsorted"):
+            build_index(path)
+
+    def test_bad_granularity_raises(self, indexed_bam):
+        with pytest.raises(ValueError):
+            build_index(indexed_bam, granularity=0)
+
+
+class TestQuery:
+    def test_seek_covers_all_overlapping_reads(self, indexed_bam):
+        """Scanning from query(p) must see every read overlapping p."""
+        index = build_index(indexed_bam, granularity=64)
+        with BamReader(indexed_bam) as reader:
+            all_reads = list(reader)
+        for pos in (0, 35, 500, 3500, 6990):
+            expected = {
+                r.qname for r in all_reads if r.pos <= pos < r.reference_end
+            }
+            with BamReader(indexed_bam) as reader:
+                reader.seek(index.query(pos))
+                seen = set()
+                while True:
+                    rec = reader.read_record()
+                    if rec is None or rec.pos > pos:
+                        break
+                    if rec.pos <= pos < rec.reference_end:
+                        seen.add(rec.qname)
+            assert expected <= seen
+
+    def test_query_before_first_read_returns_data_start(self, indexed_bam):
+        index = build_index(indexed_bam)
+        with BamReader(indexed_bam) as reader:
+            reader.seek(index.query(0))
+            rec = reader.read_record()
+            assert rec is not None
+            assert rec.qname == "r0"
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, indexed_bam, tmp_path):
+        index = build_index(indexed_bam, granularity=128)
+        path = tmp_path / "x.rli"
+        index.save(path)
+        loaded = LinearIndex.load(path)
+        assert loaded.checkpoints == index.checkpoints
+        assert loaded.max_read_span == index.max_read_span
+        assert loaded.data_start == index.data_start
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.rli"
+        path.write_bytes(b"not an index")
+        with pytest.raises(ValueError, match="magic"):
+            LinearIndex.load(path)

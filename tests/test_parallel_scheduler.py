@@ -1,0 +1,144 @@
+"""Tests for genome partitioning and the three chunk schedulers."""
+
+import threading
+
+import pytest
+
+from repro.io.regions import Region
+from repro.parallel.partition import chunk_region, partition_region
+from repro.parallel.scheduler import (
+    DynamicScheduler,
+    GuidedScheduler,
+    StaticScheduler,
+    make_scheduler,
+)
+
+
+class TestPartition:
+    def test_partition_tiles_exactly(self):
+        region = Region("c", 0, 103)
+        parts = partition_region(region, 4)
+        assert parts[0].start == 0
+        assert parts[-1].end == 103
+        assert sum(len(p) for p in parts) == 103
+        for a, b in zip(parts, parts[1:]):
+            assert a.end == b.start
+
+    def test_chunk_region_sizes(self):
+        chunks = chunk_region(Region("c", 0, 1000), 256)
+        assert [len(c) for c in chunks] == [256, 256, 256, 232]
+
+    def test_chunk_region_bad_size(self):
+        with pytest.raises(ValueError):
+            chunk_region(Region("c", 0, 10), 0)
+
+
+def drain(scheduler, n_workers):
+    """Pull everything out of a scheduler, per worker."""
+    out = {w: [] for w in range(n_workers)}
+    done = [False] * n_workers
+    while not all(done):
+        for w in range(n_workers):
+            if done[w]:
+                continue
+            item = scheduler.next(w)
+            if item is None:
+                done[w] = True
+            else:
+                out[w].append(item)
+    return out
+
+
+class TestStatic:
+    def test_round_robin_coverage(self):
+        items = list(range(10))
+        sched = StaticScheduler(items, 3)
+        out = drain(sched, 3)
+        assert out[0] == [0, 3, 6, 9]
+        assert out[1] == [1, 4, 7]
+        assert out[2] == [2, 5, 8]
+
+    def test_worker_out_of_range(self):
+        sched = StaticScheduler([1], 2)
+        with pytest.raises(ValueError):
+            sched.next(5)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            StaticScheduler([1], 0)
+
+
+class TestDynamic:
+    def test_every_item_exactly_once(self):
+        items = list(range(100))
+        sched = DynamicScheduler(items, 4)
+        out = drain(sched, 4)
+        combined = sorted(x for lst in out.values() for x in lst)
+        assert combined == items
+
+    def test_thread_safety(self):
+        items = list(range(5000))
+        sched = DynamicScheduler(items, 8)
+        grabbed = [[] for _ in range(8)]
+
+        def worker(w):
+            while True:
+                item = sched.next(w)
+                if item is None:
+                    return
+                grabbed[w].append(item)
+
+        threads = [threading.Thread(target=worker, args=(w,)) for w in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        combined = sorted(x for lst in grabbed for x in lst)
+        assert combined == items  # no loss, no duplication
+
+
+class TestGuided:
+    def test_every_item_exactly_once(self):
+        items = list(range(100))
+        sched = GuidedScheduler(items, 4)
+        out = drain(sched, 4)
+        combined = sorted(x for span in out.values() for lst in span for x in lst)
+        assert combined == items
+
+    def test_spans_shrink(self):
+        sched = GuidedScheduler(list(range(1000)), 4)
+        sizes = []
+        while True:
+            span = sched.next(0)
+            if span is None:
+                break
+            sizes.append(len(span))
+        assert sizes[0] > sizes[-1]
+        assert sizes[0] == 125  # 1000 / (2.0 * 4)
+
+    def test_min_chunk_respected(self):
+        sched = GuidedScheduler(list(range(50)), 4, min_chunk=8)
+        sizes = []
+        while True:
+            span = sched.next(0)
+            if span is None:
+                break
+            sizes.append(len(span))
+        assert all(s >= 8 or s == sizes[-1] for s in sizes)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            GuidedScheduler([1], 1, min_chunk=0)
+        with pytest.raises(ValueError):
+            GuidedScheduler([1], 1, factor=0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind", ["static", "dynamic", "guided"])
+    def test_known_kinds(self, kind):
+        sched = make_scheduler(kind, [1, 2, 3], 2)
+        assert sched.name == kind
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_scheduler("fifo", [1], 1)

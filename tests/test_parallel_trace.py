@@ -1,0 +1,117 @@
+"""Tests for the tracer and the Figure 2 timeline/metrics."""
+
+import threading
+import time
+
+from repro.parallel.trace import (
+    Category,
+    TraceEvent,
+    Tracer,
+    imbalance_metrics,
+    render_timeline,
+)
+
+
+class TestTracer:
+    def test_record_and_events(self):
+        tr = Tracer()
+        tr.record(0, Category.PROB, 1.0, 2.0)
+        (event,) = tr.events
+        assert event.worker == 0
+        assert event.category is Category.PROB
+        assert event.duration == 1.0
+
+    def test_span_context_manager(self):
+        tr = Tracer()
+        with tr.span(3, Category.BAM_ITER):
+            time.sleep(0.01)
+        (event,) = tr.events
+        assert event.worker == 3
+        assert event.duration >= 0.009
+
+    def test_thread_safety(self):
+        tr = Tracer()
+
+        def spam(w):
+            for i in range(500):
+                tr.record(w, Category.SCHED, i, i + 0.5)
+
+        threads = [threading.Thread(target=spam, args=(w,)) for w in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tr.events) == 3000
+
+    def test_merge(self):
+        a, b = Tracer(), Tracer()
+        a.record(0, Category.PROB, 0, 1)
+        b.record(1, Category.BARRIER, 1, 2)
+        a.merge(b)
+        assert len(a.events) == 2
+
+
+class TestTimeline:
+    def test_renders_rows_per_worker(self):
+        events = [
+            TraceEvent(0, Category.PROB, 0.0, 1.0),
+            TraceEvent(1, Category.BAM_ITER, 0.0, 0.5),
+            TraceEvent(1, Category.BARRIER, 0.5, 1.0),
+        ]
+        text = render_timeline(events, width=20)
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + 2 workers
+        assert "T00" in lines[1] and "T01" in lines[2]
+        assert "P" in lines[1]
+        assert "b" in lines[2] and "=" in lines[2]
+
+    def test_dominant_category_wins_bucket(self):
+        events = [
+            TraceEvent(0, Category.PROB, 0.0, 0.9),
+            TraceEvent(0, Category.SCHED, 0.9, 1.0),
+        ]
+        text = render_timeline(events, width=10)
+        row = text.splitlines()[1]
+        assert row.count("P") >= 8
+
+    def test_empty(self):
+        assert render_timeline([]) == "(no events)"
+
+
+class TestMetrics:
+    def test_balanced_run(self):
+        events = [
+            TraceEvent(w, Category.PROB, 0.0, 1.0) for w in range(4)
+        ]
+        m = imbalance_metrics(events)
+        assert m["imbalance"] == 1.0
+        assert m["barrier_total"] == 0.0
+        assert m["share_prob"] == 1.0
+
+    def test_straggler_detected(self):
+        """One worker stuck with a heavy chunk, as in the paper's
+        Figure 2."""
+        events = [TraceEvent(w, Category.PROB, 0.0, 1.0) for w in range(3)]
+        events.append(TraceEvent(3, Category.PROB, 0.0, 4.0))
+        events.extend(
+            TraceEvent(w, Category.BARRIER, 1.0, 4.0) for w in range(3)
+        )
+        m = imbalance_metrics(events)
+        assert m["imbalance"] > 2.0
+        assert m["barrier_total"] == 9.0
+
+    def test_category_shares_sum_to_one(self):
+        events = [
+            TraceEvent(0, Category.PROB, 0, 3),
+            TraceEvent(0, Category.BAM_ITER, 3, 4),
+            TraceEvent(0, Category.DECOMPRESS, 4, 4.5),
+        ]
+        m = imbalance_metrics(events)
+        total = (
+            m["share_prob"] + m["share_bam_iter"] + m["share_decompress"]
+            + m["share_sched"]
+        )
+        assert abs(total - 1.0) < 1e-12
+
+    def test_empty(self):
+        assert imbalance_metrics([]) == {}

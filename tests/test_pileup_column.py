@@ -1,0 +1,98 @@
+"""Unit tests for the PileupColumn value type."""
+
+import numpy as np
+import pytest
+
+from repro.pileup.column import BASE_TO_CODE, CODE_TO_BASE, PileupColumn
+
+
+def make_column(bases="AAAT", quals=None, reverse=None, ref="A", mapqs=None):
+    codes = np.array([BASE_TO_CODE[b] for b in bases], dtype=np.uint8)
+    n = len(bases)
+    quals = np.array(quals if quals is not None else [30] * n, dtype=np.uint8)
+    reverse = np.array(
+        reverse if reverse is not None else [False] * n, dtype=bool
+    )
+    mapqs = np.array(mapqs if mapqs is not None else [60] * n, dtype=np.uint8)
+    return PileupColumn(
+        chrom="c", pos=10, ref_base=ref, base_codes=codes,
+        quals=quals, reverse=reverse, mapqs=mapqs,
+    )
+
+
+class TestBasics:
+    def test_depth(self):
+        assert make_column("ACGT").depth == 4
+
+    def test_base_counts(self):
+        col = make_column("AACGTTTN")
+        counts = col.base_counts()
+        assert list(counts) == [2, 1, 1, 3, 1]
+
+    def test_ref_code(self):
+        assert make_column(ref="G").ref_code == BASE_TO_CODE["G"]
+
+    def test_ambiguous_ref_maps_to_n(self):
+        assert make_column(ref="R").ref_code == BASE_TO_CODE["N"]
+
+    def test_parallel_array_mismatch_raises(self):
+        with pytest.raises(ValueError, match="parallel"):
+            PileupColumn(
+                chrom="c", pos=0, ref_base="A",
+                base_codes=np.zeros(3, dtype=np.uint8),
+                quals=np.zeros(2, dtype=np.uint8),
+                reverse=np.zeros(3, dtype=bool),
+                mapqs=np.zeros(3, dtype=np.uint8),
+            )
+
+
+class TestMismatches:
+    def test_mismatch_count_excludes_n(self):
+        col = make_column("AATNG", ref="A")
+        assert col.mismatch_count() == 2  # T and G; N excluded
+
+    def test_allele_depth(self):
+        col = make_column("AATTT", ref="A")
+        assert col.allele_depth(BASE_TO_CODE["T"]) == 3
+        assert col.allele_depth(BASE_TO_CODE["C"]) == 0
+
+    def test_strand_counts(self):
+        col = make_column("ATAT", reverse=[False, False, True, True])
+        fwd, rev = col.strand_counts(BASE_TO_CODE["T"])
+        assert (fwd, rev) == (1, 1)
+
+    def test_dp4(self):
+        col = make_column(
+            "AAATT", ref="A", reverse=[False, True, True, False, True]
+        )
+        rf, rr, af, ar = col.dp4(BASE_TO_CODE["T"])
+        assert (rf, rr) == (1, 2)
+        assert (af, ar) == (1, 1)
+
+
+class TestErrorProbabilities:
+    def test_phred_conversion(self):
+        col = make_column("AA", quals=[10, 20])
+        assert np.allclose(col.error_probabilities(), [0.1, 0.01])
+
+    def test_merge_mapq(self):
+        col = make_column("A", quals=[10], mapqs=[10])
+        merged = col.error_probabilities(merge_mapq=True)
+        assert merged[0] == pytest.approx(1 - 0.9 * 0.9)
+
+    def test_merged_probability_never_lower(self):
+        col = make_column("ACGT", quals=[10, 20, 30, 40], mapqs=[20] * 4)
+        base = col.error_probabilities()
+        merged = col.error_probabilities(merge_mapq=True)
+        assert (merged >= base).all()
+
+
+class TestSubset:
+    def test_subset_filters_all_arrays(self):
+        col = make_column("ACGT", quals=[10, 20, 30, 40],
+                          reverse=[True, False, True, False])
+        sub = col.subset(np.array([True, False, True, False]))
+        assert sub.depth == 2
+        assert [CODE_TO_BASE[c] for c in sub.base_codes] == ["A", "G"]
+        assert list(sub.quals) == [10, 30]
+        assert list(sub.reverse) == [True, True]

@@ -1,0 +1,172 @@
+"""Tests for the streaming pileup engine, anchored by a brute-force
+recount oracle."""
+
+import numpy as np
+import pytest
+
+from repro.io.cigar import aligned_pairs
+from repro.io.records import (
+    FLAG_DUPLICATE,
+    FLAG_QCFAIL,
+    FLAG_SECONDARY,
+    FLAG_UNMAPPED,
+    AlignedRead,
+)
+from repro.io.regions import Region
+from repro.pileup.column import CODE_TO_BASE
+from repro.pileup.engine import PileupConfig, pileup
+
+REF = "ACGTACGTACGTACGTACGTACGTACGTACGT"  # 32 nt
+
+
+def simple_read(qname, pos, seq, quals=None, **kwargs):
+    return AlignedRead.simple(
+        qname, "chr1", pos, seq, quals or [30] * len(seq), **kwargs
+    )
+
+
+def brute_force_counts(reads, region, cfg):
+    """Independent recount: expand every read's aligned pairs."""
+    out = {}
+    for read in reads:
+        if not cfg.read_passes(read):
+            continue
+        for qi, ri in aligned_pairs(read.cigar, read.pos):
+            if qi is None or ri is None:
+                continue
+            if not (region.start <= ri < region.end):
+                continue
+            if read.qual[qi] < cfg.min_baseq:
+                continue
+            out.setdefault(ri, []).append(read.seq[qi])
+    return out
+
+
+class TestAgainstOracle:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(5)
+        reads = []
+        pos = 0
+        for i in range(60):
+            pos += int(rng.integers(0, 3))
+            length = int(rng.integers(4, 12))
+            if pos + length > len(REF):
+                break
+            seq = "".join(rng.choice(list("ACGT"), size=length))
+            quals = rng.integers(2, 41, size=length).tolist()
+            reads.append(simple_read(f"r{i}", pos, seq, quals))
+        region = Region("chr1", 0, len(REF))
+        cfg = PileupConfig(min_baseq=10)
+        expected = brute_force_counts(reads, region, cfg)
+        got = {
+            col.pos: sorted(CODE_TO_BASE[c] for c in col.base_codes)
+            for col in pileup(reads, REF, region, cfg)
+        }
+        assert got == {p: sorted(b) for p, b in expected.items()}
+
+
+class TestCigarHandling:
+    def test_insertion_skipped_on_reference(self):
+        read = simple_read("r", 0, "AAXAA", cigar="2M1I2M")
+        cols = list(pileup([read], REF, Region("chr1", 0, 10)))
+        assert [c.pos for c in cols] == [0, 1, 2, 3]
+        # The inserted base X never lands on the reference.
+        assert all(c.depth == 1 for c in cols)
+
+    def test_deletion_leaves_gap(self):
+        read = simple_read("r", 0, "AAAA", cigar="2M2D2M")
+        cols = list(pileup([read], REF, Region("chr1", 0, 10)))
+        assert [c.pos for c in cols] == [0, 1, 4, 5]
+
+    def test_soft_clip_not_deposited(self):
+        read = simple_read("r", 5, "TTAA", cigar="2S2M")
+        cols = list(pileup([read], REF, Region("chr1", 0, 10)))
+        assert [c.pos for c in cols] == [5, 6]
+        assert [CODE_TO_BASE[c.base_codes[0]] for c in cols] == ["A", "A"]
+
+    def test_skip_region_n_operator(self):
+        read = simple_read("r", 0, "GGGG", cigar="2M10N2M")
+        cols = list(pileup([read], REF, Region("chr1", 0, 20)))
+        assert [c.pos for c in cols] == [0, 1, 12, 13]
+
+
+class TestFilters:
+    def test_min_baseq_drops_bases(self):
+        read = simple_read("r", 0, "ACGT", [5, 30, 5, 30])
+        cols = list(
+            pileup([read], REF, Region("chr1", 0, 4), PileupConfig(min_baseq=10))
+        )
+        assert [c.pos for c in cols] == [1, 3]
+
+    def test_min_mapq_drops_reads(self):
+        good = simple_read("g", 0, "AC", mapq=60)
+        bad = simple_read("b", 0, "AC", mapq=5)
+        cols = list(
+            pileup(
+                [good, bad], REF, Region("chr1", 0, 2),
+                PileupConfig(min_mapq=20, min_baseq=0),
+            )
+        )
+        assert all(c.depth == 1 for c in cols)
+
+    @pytest.mark.parametrize(
+        "flag", [FLAG_UNMAPPED, FLAG_SECONDARY, FLAG_DUPLICATE, FLAG_QCFAIL]
+    )
+    def test_flagged_reads_excluded(self, flag):
+        read = simple_read("r", 0, "AC")
+        read.flag |= flag
+        if flag == FLAG_UNMAPPED:
+            read.cigar = []
+        cols = list(pileup([read], REF, Region("chr1", 0, 2)))
+        assert cols == []
+
+    def test_include_duplicates_option(self):
+        read = simple_read("r", 0, "AC")
+        read.flag |= FLAG_DUPLICATE
+        cfg = PileupConfig(include_duplicates=True)
+        cols = list(pileup([read], REF, Region("chr1", 0, 2), cfg))
+        assert len(cols) == 2
+
+
+class TestDepthCap:
+    def test_cap_applied_first_come(self):
+        reads = [simple_read(f"r{i}", 0, "AC") for i in range(10)]
+        cfg = PileupConfig(max_depth=4)
+        cols = list(pileup(reads, REF, Region("chr1", 0, 2), cfg))
+        assert all(c.depth == 4 for c in cols)
+        assert all(c.n_capped == 6 for c in cols)
+
+
+class TestRegionSemantics:
+    def test_columns_restricted_to_region(self):
+        reads = [simple_read("r", 2, "AAAAAA")]
+        cols = list(pileup(reads, REF, Region("chr1", 4, 6)))
+        assert [c.pos for c in cols] == [4, 5]
+
+    def test_read_straddling_region_start_included(self):
+        reads = [simple_read("r", 0, "AAAAAAAA")]
+        cols = list(pileup(reads, REF, Region("chr1", 4, 6)))
+        assert all(c.depth == 1 for c in cols)
+
+    def test_emit_empty_columns(self):
+        reads = [simple_read("r", 2, "AA")]
+        cols = list(
+            pileup(reads, REF, Region("chr1", 0, 6), emit_empty=True)
+        )
+        assert [c.pos for c in cols] == [0, 1, 2, 3, 4, 5]
+        assert [c.depth for c in cols] == [0, 0, 1, 1, 0, 0]
+
+    def test_unsorted_input_rejected(self):
+        reads = [simple_read("a", 10, "AC"), simple_read("b", 5, "AC")]
+        with pytest.raises(ValueError, match="sorted"):
+            list(pileup(reads, REF, Region("chr1", 0, 20)))
+
+    def test_ref_base_comes_from_reference(self):
+        reads = [simple_read("r", 3, "GG")]
+        cols = list(pileup(reads, REF, Region("chr1", 0, 10)))
+        assert [c.ref_base for c in cols] == [REF[3], REF[4]]
+
+    def test_other_chromosome_skipped(self):
+        read = AlignedRead.simple("r", "chrX", 0, "AC", [30, 30])
+        cols = list(pileup([read], REF, Region("chr1", 0, 5)))
+        assert cols == []

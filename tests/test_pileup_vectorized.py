@@ -1,0 +1,103 @@
+"""Equivalence tests: vectorised pileup vs the streaming engine."""
+
+import numpy as np
+import pytest
+
+from repro.io.regions import Region
+from repro.pileup.engine import PileupConfig, pileup
+from repro.pileup.vectorized import pileup_from_arrays, pileup_sample
+
+
+def columns_equal(a, b):
+    assert a.pos == b.pos, f"position {a.pos} != {b.pos}"
+    assert a.ref_base == b.ref_base
+    assert np.array_equal(np.sort(a.base_codes), np.sort(b.base_codes))
+    assert np.array_equal(np.sort(a.quals), np.sort(b.quals))
+    assert a.reverse.sum() == b.reverse.sum()
+
+
+class TestEquivalence:
+    def test_matches_streaming_engine(self, sample, genome, whole_region):
+        cfg = PileupConfig(min_baseq=10)
+        vec = list(pileup_sample(sample, whole_region, cfg))
+        reads = sample.read_list()
+        stream = list(pileup(reads, genome.sequence, whole_region, cfg))
+        assert len(vec) == len(stream)
+        for a, b in zip(vec, stream):
+            columns_equal(a, b)
+
+    def test_matches_on_subregion(self, sample, genome):
+        region = Region(genome.name, 300, 450)
+        cfg = PileupConfig()
+        vec = list(pileup_sample(sample, region, cfg))
+        stream = list(
+            pileup(sample.read_list(), genome.sequence, region, cfg)
+        )
+        assert len(vec) == len(stream)
+        for a, b in zip(vec, stream):
+            columns_equal(a, b)
+
+    def test_depth_cap_consistent(self, sample, genome, whole_region):
+        cfg = PileupConfig(max_depth=50)
+        vec = list(pileup_sample(sample, whole_region, cfg))
+        assert all(c.depth <= 50 for c in vec)
+        capped = [c for c in vec if c.n_capped > 0]
+        assert capped, "200x sample should exceed a 50x cap somewhere"
+
+
+class TestDirect:
+    def test_single_read_matrix(self):
+        starts = np.array([2], dtype=np.int64)
+        codes = np.array([[0, 1, 2]], dtype=np.uint8)  # A C G
+        quals = np.full((1, 3), 30, dtype=np.uint8)
+        rev = np.array([False])
+        cols = list(
+            pileup_from_arrays(
+                starts, codes, quals, rev, "TTTTTTT", Region("c", 0, 7)
+            )
+        )
+        assert [c.pos for c in cols] == [2, 3, 4]
+        assert [c.depth for c in cols] == [1, 1, 1]
+
+    def test_baseq_filter(self):
+        starts = np.array([0], dtype=np.int64)
+        codes = np.array([[0, 0]], dtype=np.uint8)
+        quals = np.array([[5, 30]], dtype=np.uint8)
+        rev = np.array([False])
+        cols = list(
+            pileup_from_arrays(
+                starts, codes, quals, rev, "TT", Region("c", 0, 2),
+                PileupConfig(min_baseq=10),
+            )
+        )
+        assert [c.pos for c in cols] == [1]
+
+    def test_mapq_below_threshold_drops_everything(self):
+        starts = np.array([0], dtype=np.int64)
+        codes = np.zeros((1, 2), dtype=np.uint8)
+        quals = np.full((1, 2), 30, dtype=np.uint8)
+        rev = np.array([False])
+        cols = list(
+            pileup_from_arrays(
+                starts, codes, quals, rev, "TT", Region("c", 0, 2),
+                PileupConfig(min_mapq=70), mapq=60,
+            )
+        )
+        assert cols == []
+
+    def test_inconsistent_shapes_raise(self):
+        with pytest.raises(ValueError, match="consistent"):
+            list(
+                pileup_from_arrays(
+                    np.zeros(2, dtype=np.int64),
+                    np.zeros((1, 3), dtype=np.uint8),
+                    np.zeros((1, 3), dtype=np.uint8),
+                    np.zeros(1, dtype=bool),
+                    "TTT",
+                    Region("c", 0, 3),
+                )
+            )
+
+    def test_empty_region(self, sample, genome):
+        cols = list(pileup_sample(sample, Region(genome.name, 0, 0)))
+        assert cols == []

@@ -1,0 +1,87 @@
+"""Tests for the Poisson distribution functions against SciPy."""
+
+import numpy as np
+import pytest
+from scipy import stats as sstats
+
+from repro.stats.poisson import poisson_cdf, poisson_log_pmf, poisson_pmf, poisson_sf
+
+
+class TestPmf:
+    @pytest.mark.parametrize("lam", [0.01, 0.5, 1.0, 5.0, 50.0, 500.0])
+    @pytest.mark.parametrize("k", [0, 1, 3, 10, 100])
+    def test_matches_scipy(self, k, lam):
+        assert poisson_pmf(k, lam) == pytest.approx(
+            sstats.poisson.pmf(k, lam), rel=1e-10, abs=1e-300
+        )
+
+    def test_lam_zero(self):
+        assert poisson_pmf(0, 0.0) == 1.0
+        assert poisson_pmf(1, 0.0) == 0.0
+
+    def test_pmf_sums_to_one(self):
+        lam = 7.3
+        total = sum(poisson_pmf(k, lam) for k in range(200))
+        assert total == pytest.approx(1.0, rel=1e-12)
+
+    def test_log_pmf_large_k_no_overflow(self):
+        val = poisson_log_pmf(100_000, 100_000.0)
+        assert np.isfinite(val)
+
+
+class TestCdfSf:
+    @pytest.mark.parametrize("lam", [0.1, 1.0, 10.0, 1000.0])
+    @pytest.mark.parametrize("k", [0, 1, 5, 50, 900, 1100])
+    def test_cdf_matches_scipy(self, k, lam):
+        assert poisson_cdf(k, lam) == pytest.approx(
+            sstats.poisson.cdf(k, lam), rel=1e-9, abs=1e-300
+        )
+
+    @pytest.mark.parametrize("lam", [0.1, 1.0, 10.0, 1000.0])
+    @pytest.mark.parametrize("k", [0, 1, 5, 50, 900, 1100])
+    def test_sf_is_inclusive_tail(self, k, lam):
+        # Our sf is P(X >= k) = scipy's sf(k-1).
+        expected = sstats.poisson.sf(k - 1, lam) if k > 0 else 1.0
+        assert poisson_sf(k, lam) == pytest.approx(expected, rel=1e-9, abs=1e-300)
+
+    def test_cdf_sf_complementarity(self):
+        lam = 12.0
+        for k in range(40):
+            assert poisson_cdf(k, lam) + poisson_sf(k + 1, lam) == pytest.approx(
+                1.0, rel=1e-10
+            )
+
+    def test_sf_at_zero_is_one(self):
+        assert poisson_sf(0, 5.0) == 1.0
+        assert poisson_sf(0, 0.0) == 1.0
+
+    def test_sf_lam_zero(self):
+        assert poisson_sf(3, 0.0) == 0.0
+
+    def test_sf_monotone_decreasing_in_k(self):
+        lam = 8.0
+        values = [poisson_sf(k, lam) for k in range(30)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_sf_monotone_increasing_in_lam(self):
+        k = 10
+        values = [poisson_sf(k, lam) for lam in (1.0, 2.0, 5.0, 10.0, 20.0)]
+        assert values == sorted(values)
+
+    def test_negative_k_raises(self):
+        with pytest.raises(ValueError):
+            poisson_sf(-1, 1.0)
+
+    def test_negative_lam_raises(self):
+        with pytest.raises(ValueError):
+            poisson_cdf(1, -0.5)
+
+    def test_ultra_deep_regime(self):
+        """The paper's 1M-depth columns: lambda in the hundreds."""
+        lam = 400.0  # 1e6 reads * ~4e-4 error / 3 alleles-ish
+        assert poisson_sf(400, lam) == pytest.approx(
+            sstats.poisson.sf(399, lam), rel=1e-8
+        )
+        assert poisson_sf(600, lam) == pytest.approx(
+            sstats.poisson.sf(599, lam), rel=1e-6
+        )

@@ -1,0 +1,151 @@
+"""Tests for the exact Poisson-binomial implementations."""
+
+import numpy as np
+import pytest
+
+from repro.stats.poisson_binomial import (
+    poibin_mean_variance,
+    poibin_pmf_dp,
+    poibin_sf,
+    poibin_sf_binomial,
+    poibin_sf_brute_force,
+    poibin_sf_dp,
+)
+
+
+@pytest.fixture
+def hetero_probs(rng):
+    return rng.uniform(0.0005, 0.02, size=500)
+
+
+class TestPmfDp:
+    def test_matches_brute_force_small(self, rng):
+        p = rng.uniform(0, 1, size=8)
+        pmf = poibin_pmf_dp(p)
+        for k in range(9):
+            tail = pmf[k:].sum()
+            assert tail == pytest.approx(
+                poibin_sf_brute_force(k, p), abs=1e-12
+            )
+
+    def test_sums_to_one(self, hetero_probs):
+        assert poibin_pmf_dp(hetero_probs).sum() == pytest.approx(1.0, rel=1e-12)
+
+    def test_degenerate_all_zero(self):
+        pmf = poibin_pmf_dp(np.zeros(5))
+        assert pmf[0] == 1.0
+        assert pmf[1:].sum() == 0.0
+
+    def test_degenerate_all_one(self):
+        pmf = poibin_pmf_dp(np.ones(5))
+        assert pmf[5] == pytest.approx(1.0)
+        assert pmf[:5].sum() == pytest.approx(0.0, abs=1e-15)
+
+    def test_empty(self):
+        pmf = poibin_pmf_dp(np.array([]))
+        assert list(pmf) == [1.0]
+
+    def test_mean_variance_match_pmf(self, rng):
+        p = rng.uniform(0, 1, size=30)
+        pmf = poibin_pmf_dp(p)
+        ks = np.arange(31)
+        mean, var = poibin_mean_variance(p)
+        assert (pmf * ks).sum() == pytest.approx(mean, rel=1e-10)
+        assert (pmf * (ks - mean) ** 2).sum() == pytest.approx(var, rel=1e-8)
+
+    def test_invalid_probs_raise(self):
+        with pytest.raises(ValueError):
+            poibin_pmf_dp(np.array([0.5, 1.2]))
+        with pytest.raises(ValueError):
+            poibin_pmf_dp(np.array([[0.5]]))
+
+
+class TestSfDp:
+    def test_matches_full_pmf(self, hetero_probs):
+        pmf = poibin_pmf_dp(hetero_probs)
+        for k in (1, 2, 5, 10, 20):
+            got = poibin_sf_dp(k, hetero_probs).pvalue
+            assert got == pytest.approx(float(pmf[k:].sum()), rel=1e-9, abs=1e-14)
+
+    def test_matches_binomial_special_case(self):
+        d, p = 400, 0.003
+        probs = np.full(d, p)
+        for k in (1, 2, 4, 8):
+            assert poibin_sf(k, probs) == pytest.approx(
+                poibin_sf_binomial(k, d, p), rel=1e-9
+            )
+
+    def test_k_zero_is_one(self):
+        assert poibin_sf_dp(0, np.array([0.1, 0.2])).pvalue == 1.0
+
+    def test_k_beyond_d_is_zero(self):
+        assert poibin_sf_dp(5, np.array([0.5, 0.5])).pvalue == 0.0
+
+    def test_zero_probabilities_skipped(self):
+        p = np.array([0.0, 0.3, 0.0, 0.2])
+        assert poibin_sf(1, p) == pytest.approx(1 - 0.7 * 0.8, rel=1e-12)
+
+    def test_negative_k_raises(self):
+        with pytest.raises(ValueError):
+            poibin_sf_dp(-1, np.array([0.5]))
+
+
+class TestPruning:
+    def test_running_tail_is_monotone_lower_bound(self, rng):
+        """Early-stopped p-value must lower-bound the exact value."""
+        p = rng.uniform(0.001, 0.05, size=300)
+        exact = poibin_sf_dp(3, p).pvalue
+        pruned = poibin_sf_dp(3, p, prune_above=exact / 10)
+        assert not pruned.complete
+        assert pruned.pvalue <= exact
+        assert pruned.steps < 300
+
+    def test_prune_triggers_early_on_clear_columns(self, rng):
+        """A K far below lambda stops long before d reads."""
+        p = np.full(5000, 0.01)  # lambda = 50
+        res = poibin_sf_dp(5, p, prune_above=1e-6)
+        assert not res.complete
+        assert res.steps < 2500
+
+    def test_no_prune_on_significant_columns(self):
+        """A K far above lambda must run to completion (it is the
+        variant case; the exact p-value is needed)."""
+        p = np.full(1000, 0.001)  # lambda = 1
+        res = poibin_sf_dp(30, p, prune_above=0.05)
+        assert res.complete
+        assert res.steps == 1000
+        assert res.pvalue < 1e-20
+
+    def test_pruned_verdict_agrees_with_exact(self, rng):
+        """Whenever pruning fires, 'p > threshold' must be the truth."""
+        for seed in range(20):
+            r = np.random.default_rng(seed)
+            p = r.uniform(0.0, 0.05, size=200)
+            k = int(r.integers(1, 12))
+            threshold = 10.0 ** -r.uniform(1, 8)
+            pruned = poibin_sf_dp(k, p, prune_above=threshold)
+            if not pruned.complete:
+                exact = poibin_sf_dp(k, p).pvalue
+                assert exact > threshold
+
+
+class TestCrossValidation:
+    def test_dp_vs_brute_force_random(self):
+        for seed in range(25):
+            rng = np.random.default_rng(seed)
+            d = int(rng.integers(1, 13))
+            p = rng.uniform(0, 1, size=d)
+            k = int(rng.integers(0, d + 2))
+            assert poibin_sf(k, p) == pytest.approx(
+                poibin_sf_brute_force(k, p), abs=1e-11
+            )
+
+    def test_brute_force_limits(self):
+        with pytest.raises(ValueError):
+            poibin_sf_brute_force(1, np.full(25, 0.5))
+
+    def test_binomial_extremes(self):
+        assert poibin_sf_binomial(0, 10, 0.5) == 1.0
+        assert poibin_sf_binomial(11, 10, 0.5) == 0.0
+        assert poibin_sf_binomial(5, 10, 0.0) == 0.0
+        assert poibin_sf_binomial(5, 10, 1.0) == 1.0

@@ -1,0 +1,111 @@
+"""Property-based tests at the pipeline level: the paper's safety
+property under randomised columns, pileup conservation laws, and cache
+model sanity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cachesim.cache import SetAssociativeCache
+from repro.core.config import CallerConfig
+from repro.core.results import RunStats
+from repro.core.workflow import evaluate_column
+from repro.io.regions import Region
+from repro.pileup.column import PileupColumn
+from repro.pileup.engine import PileupConfig, pileup
+from repro.io.records import AlignedRead
+
+
+@st.composite
+def random_columns(draw):
+    depth = draw(st.integers(10, 600))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    ref_code = draw(st.integers(0, 3))
+    alt_fraction = draw(st.floats(0.0, 0.2))
+    codes = np.full(depth, ref_code, dtype=np.uint8)
+    n_alt = int(depth * alt_fraction)
+    if n_alt:
+        alt_code = (ref_code + 1 + draw(st.integers(0, 2))) % 4
+        codes[:n_alt] = alt_code
+    quals = rng.integers(5, 41, size=depth).astype(np.uint8)
+    return PileupColumn(
+        chrom="c",
+        pos=0,
+        ref_base="ACGT"[ref_code],
+        base_codes=codes,
+        quals=quals,
+        reverse=rng.random(depth) < 0.5,
+        mapqs=np.full(depth, 60, dtype=np.uint8),
+    )
+
+
+class TestSafetyProperty:
+    """Improved calls must be a subset of original calls on ANY
+    column, for ANY threshold -- the paper's central guarantee."""
+
+    @given(random_columns(), st.floats(1e-9, 1e-2))
+    @settings(max_examples=50, deadline=None)
+    def test_improved_subset_of_original(self, column, corrected_alpha):
+        improved = evaluate_column(
+            column, corrected_alpha, CallerConfig.improved(), RunStats()
+        )
+        original = evaluate_column(
+            column, corrected_alpha, CallerConfig.original(), RunStats()
+        )
+        assert {c.key for c in improved} <= {c.key for c in original}
+
+    @given(random_columns(), st.floats(1e-9, 1e-2))
+    @settings(max_examples=30, deadline=None)
+    def test_emitted_pvalues_below_threshold(self, column, corrected_alpha):
+        calls = evaluate_column(
+            column, corrected_alpha, CallerConfig.improved(), RunStats()
+        )
+        for call in calls:
+            assert call.pvalue < corrected_alpha
+            assert call.used_exact
+
+
+class TestPileupConservation:
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(1, 20)),
+                    min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_deposited_bases_conserved(self, read_specs):
+        """Sum of column depths == total aligned bases in region."""
+        reference = "A" * 100
+        reads = []
+        read_specs.sort()
+        for i, (pos, length) in enumerate(read_specs):
+            length = min(length, 100 - pos)
+            if length <= 0:
+                continue
+            reads.append(
+                AlignedRead.simple(f"r{i}", "c", pos, "A" * length, [30] * length)
+            )
+        region = Region("c", 0, 100)
+        cfg = PileupConfig(min_baseq=0)
+        total_depth = sum(
+            col.depth for col in pileup(reads, reference, region, cfg)
+        )
+        assert total_depth == sum(len(r.seq) for r in reads)
+
+
+class TestCacheModelProperties:
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=500))
+    @settings(max_examples=40, deadline=None)
+    def test_hits_plus_misses_equals_line_touches(self, addrs):
+        cache = SetAssociativeCache(size_bytes=1 << 12, line_size=64,
+                                    associativity=4)
+        stats = cache.run(addrs, size=1)
+        assert stats.accesses == len(addrs)
+
+    @given(st.lists(st.integers(0, 1 << 12), min_size=1, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_repeat_pass_never_worse(self, addrs):
+        """Replaying the same trace on a warmed cache cannot miss more
+        than the cold pass (LRU inclusion property for one stream)."""
+        cold = SetAssociativeCache(size_bytes=1 << 12, line_size=64,
+                                   associativity=4)
+        first = cold.run(addrs, size=1)
+        second = cold.run(addrs, size=1)
+        assert second.misses <= first.misses

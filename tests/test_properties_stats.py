@@ -1,0 +1,113 @@
+"""Property-based tests (hypothesis) for the statistics layer.
+
+These encode the DESIGN.md invariants: agreement of independent exact
+methods, the Hodges--Le Cam bound, monotonicity, and the conservatism
+of the pruned DP.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.stats.approximation import le_cam_bound, poisson_tail_approx
+from repro.stats.dftcf import poibin_pmf_dftcf
+from repro.stats.normal_approx import poibin_cdf_refined_normal
+from repro.stats.poisson import poisson_cdf, poisson_sf
+from repro.stats.poisson_binomial import (
+    poibin_pmf_dp,
+    poibin_sf_brute_force,
+    poibin_sf_dp,
+)
+
+probs_small = hnp.arrays(
+    np.float64,
+    st.integers(1, 12),
+    elements=st.floats(0.0, 1.0, allow_nan=False),
+)
+
+probs_column = hnp.arrays(
+    np.float64,
+    st.integers(1, 300),
+    elements=st.floats(0.0, 0.2, allow_nan=False),
+)
+
+
+class TestExactMethodsAgree:
+    @given(probs_small, st.integers(0, 14))
+    @settings(max_examples=60, deadline=None)
+    def test_dp_equals_brute_force(self, p, k):
+        assert poibin_sf_dp(k, p).pvalue == pytest.approx(
+            poibin_sf_brute_force(k, p), abs=1e-10
+        )
+
+    @given(probs_column)
+    @settings(max_examples=40, deadline=None)
+    def test_dp_pmf_equals_dftcf_pmf(self, p):
+        assert np.allclose(poibin_pmf_dp(p), poibin_pmf_dftcf(p), atol=1e-9)
+
+    @given(probs_column)
+    @settings(max_examples=40, deadline=None)
+    def test_pmf_is_distribution(self, p):
+        pmf = poibin_pmf_dp(p)
+        assert pmf.min() >= -1e-15
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestApproximationBound:
+    @given(probs_column, st.integers(0, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_le_cam_bound_holds(self, p, k):
+        exact = poibin_sf_dp(k, p).pvalue
+        approx = poisson_tail_approx(k, p)
+        assert abs(approx - exact) <= le_cam_bound(p) + 1e-10
+
+    @given(probs_column, st.integers(0, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_rna_bounded(self, p, k):
+        v = poibin_cdf_refined_normal(k, p)
+        assert 0.0 <= v <= 1.0
+
+
+class TestMonotonicity:
+    @given(probs_column)
+    @settings(max_examples=40, deadline=None)
+    def test_sf_monotone_in_k(self, p):
+        values = [poibin_sf_dp(k, p).pvalue for k in range(0, p.size + 1, max(1, p.size // 7))]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    @given(
+        st.floats(0.01, 500.0, allow_nan=False),
+        st.integers(0, 50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_poisson_cdf_sf_complement(self, lam, k):
+        assert poisson_cdf(k, lam) + poisson_sf(k + 1, lam) == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+
+class TestPruningConservatism:
+    @given(
+        probs_column,
+        st.integers(1, 20),
+        st.floats(1e-9, 0.5, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pruned_result_is_lower_bound(self, p, k, threshold):
+        """The property the skip logic's safety rests on: whenever the
+        DP prunes, the true p-value really is above the threshold."""
+        pruned = poibin_sf_dp(k, p, prune_above=threshold)
+        exact = poibin_sf_dp(k, p).pvalue
+        assert pruned.pvalue <= exact + 1e-12
+        if not pruned.complete:
+            assert exact > threshold
+        else:
+            assert pruned.pvalue == pytest.approx(exact, abs=1e-12)
+
+    @given(probs_column, st.integers(1, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_steps_never_exceed_depth(self, p, k):
+        res = poibin_sf_dp(k, p, prune_above=0.01)
+        assert 0 <= res.steps <= p.size

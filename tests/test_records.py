@@ -1,0 +1,125 @@
+"""Unit tests for the alignment record and header models."""
+
+import numpy as np
+import pytest
+
+from repro.io.cigar import CigarOp
+from repro.io.records import (
+    FLAG_DUPLICATE,
+    FLAG_REVERSE,
+    FLAG_SECONDARY,
+    FLAG_SUPPLEMENTARY,
+    FLAG_UNMAPPED,
+    AlignedRead,
+    SamHeader,
+)
+
+
+def make_read(**kwargs):
+    defaults = dict(
+        qname="r1",
+        flag=0,
+        rname="chr1",
+        pos=100,
+        mapq=60,
+        cigar=[(CigarOp.M, 4)],
+        seq="ACGT",
+        qual=np.array([30, 31, 32, 33], dtype=np.uint8),
+    )
+    defaults.update(kwargs)
+    return AlignedRead(**defaults)
+
+
+class TestAlignedRead:
+    def test_reference_end(self):
+        read = make_read()
+        assert read.reference_end == 104
+
+    def test_reference_end_with_deletion(self):
+        read = make_read(cigar=[(CigarOp.M, 2), (CigarOp.D, 3), (CigarOp.M, 2)])
+        assert read.reference_end == 100 + 2 + 3 + 2
+
+    def test_seq_qual_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="QUAL length"):
+            make_read(qual=np.array([30, 30], dtype=np.uint8))
+
+    def test_cigar_seq_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            make_read(cigar=[(CigarOp.M, 7)])
+
+    def test_flag_predicates(self):
+        assert make_read(flag=FLAG_REVERSE).is_reverse
+        assert make_read(flag=FLAG_UNMAPPED, cigar=[]).is_unmapped
+        assert make_read(flag=FLAG_SECONDARY).is_secondary
+        assert make_read(flag=FLAG_DUPLICATE).is_duplicate
+        assert not make_read().is_reverse
+
+    def test_is_primary(self):
+        assert make_read().is_primary
+        assert not make_read(flag=FLAG_SECONDARY).is_primary
+        assert not make_read(flag=FLAG_SUPPLEMENTARY).is_primary
+        assert not make_read(flag=FLAG_UNMAPPED, cigar=[]).is_primary
+
+    def test_overlaps(self):
+        read = make_read()  # spans [100, 104)
+        assert read.overlaps(100, 101)
+        assert read.overlaps(103, 200)
+        assert not read.overlaps(104, 200)
+        assert not read.overlaps(0, 100)
+
+    def test_simple_constructor(self):
+        read = AlignedRead.simple("r", "chr1", 5, "ACG", [30, 30, 30])
+        assert read.cigar == [(CigarOp.M, 3)]
+        assert read.pos == 5
+        assert not read.is_reverse
+
+    def test_simple_reverse(self):
+        read = AlignedRead.simple(
+            "r", "chr1", 5, "ACG", [30, 30, 30], reverse=True
+        )
+        assert read.is_reverse
+
+    def test_qual_coerced_to_uint8(self):
+        read = make_read(qual=[30, 31, 32, 33])
+        assert read.qual.dtype == np.uint8
+
+
+class TestSamHeader:
+    def test_reference_id(self):
+        hdr = SamHeader(references=[("chr1", 100), ("chr2", 200)])
+        assert hdr.reference_id("chr1") == 0
+        assert hdr.reference_id("chr2") == 1
+        assert hdr.reference_id("chrX") == -1
+
+    def test_reference_length(self):
+        hdr = SamHeader(references=[("chr1", 100)])
+        assert hdr.reference_length("chr1") == 100
+        with pytest.raises(KeyError):
+            hdr.reference_length("chrX")
+
+    def test_text_round_trip(self):
+        hdr = SamHeader(
+            references=[("chr1", 100), ("chr2", 200)],
+            read_groups=[{"ID": "rg1", "SM": "s1"}],
+            programs=[{"ID": "p1", "PN": "prog"}],
+            sort_order="coordinate",
+            comments=["hello world"],
+        )
+        parsed = SamHeader.from_text(hdr.to_text())
+        assert parsed.references == hdr.references
+        assert parsed.read_groups == hdr.read_groups
+        assert parsed.programs == hdr.programs
+        assert parsed.sort_order == "coordinate"
+        assert parsed.comments == ["hello world"]
+
+    def test_sort_key_orders_by_reference_then_position(self):
+        hdr = SamHeader(references=[("chr1", 100), ("chr2", 200)])
+        a = make_read(rname="chr1", pos=50)
+        b = make_read(rname="chr2", pos=10)
+        c = make_read(rname="chr1", pos=10)
+        ordered = sorted([a, b, c], key=lambda r: r.sort_key(hdr))
+        assert [(r.rname, r.pos) for r in ordered] == [
+            ("chr1", 10),
+            ("chr1", 50),
+            ("chr2", 10),
+        ]

@@ -1,0 +1,124 @@
+"""Unit tests for the SAM text codec."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.io.cigar import parse_cigar
+from repro.io.records import AlignedRead, SamHeader
+from repro.io.sam import format_record, parse_record, read_sam, write_sam
+
+SAM_LINE = (
+    "read1\t16\tchr1\t1235\t42\t3S10M2I5M\tchr2\t100\t-150\t"
+    "ACGTACGTACGTACGTACGT\tIIIIIIIIIIIIIIIIIIII\tNM:i:3\tRG:Z:grp1"
+)
+
+
+class TestParseRecord:
+    def test_mandatory_fields(self):
+        read = parse_record(SAM_LINE)
+        assert read.qname == "read1"
+        assert read.flag == 16
+        assert read.rname == "chr1"
+        assert read.pos == 1234  # 1-based text -> 0-based model
+        assert read.mapq == 42
+        assert read.cigar == parse_cigar("3S10M2I5M")
+        assert read.rnext == "chr2"
+        assert read.pnext == 99
+        assert read.tlen == -150
+        assert read.seq == "ACGTACGTACGTACGTACGT"
+        assert np.all(read.qual == 40)  # 'I' = Phred 40
+
+    def test_tags(self):
+        read = parse_record(SAM_LINE)
+        assert read.tags["NM"] == ("i", 3)
+        assert read.tags["RG"] == ("Z", "grp1")
+
+    def test_b_array_tag(self):
+        line = SAM_LINE + "\tZB:B:i,1,2,3"
+        read = parse_record(line)
+        sub, arr = read.tags["ZB"][1]
+        assert sub == "i"
+        assert list(arr) == [1, 2, 3]
+
+    def test_star_seq_and_qual(self):
+        line = "r\t4\t*\t0\t0\t*\t*\t0\t0\t*\t*"
+        read = parse_record(line)
+        assert read.seq == ""
+        assert read.is_unmapped
+
+    def test_too_few_fields_raises(self):
+        with pytest.raises(ValueError, match="fields"):
+            parse_record("a\tb\tc")
+
+    def test_malformed_tag_raises(self):
+        with pytest.raises(ValueError, match="tag"):
+            parse_record(SAM_LINE + "\tbadtag")
+
+
+class TestFormatRecord:
+    def test_round_trip(self):
+        read = parse_record(SAM_LINE)
+        again = parse_record(format_record(read))
+        assert again.qname == read.qname
+        assert again.pos == read.pos
+        assert again.cigar == read.cigar
+        assert again.tags == read.tags
+        assert np.array_equal(again.qual, read.qual)
+
+    def test_float_tag_rendering(self):
+        read = parse_record(SAM_LINE + "\tXF:f:2.5")
+        assert "XF:f:2.5" in format_record(read)
+
+
+class TestSamFile:
+    def test_file_round_trip(self, tmp_path):
+        header = SamHeader(references=[("chr1", 1000)], sort_order="coordinate")
+        reads = [
+            AlignedRead.simple(f"r{i}", "chr1", i * 10, "ACGT", [30] * 4)
+            for i in range(20)
+        ]
+        path = tmp_path / "t.sam"
+        assert write_sam(path, header, reads) == 20
+        hdr, record_iter = read_sam(path)
+        records = list(record_iter)
+        assert hdr.references == [("chr1", 1000)]
+        assert hdr.sort_order == "coordinate"
+        assert len(records) == 20
+        assert [r.qname for r in records] == [f"r{i}" for i in range(20)]
+
+    def test_stream_round_trip(self):
+        header = SamHeader(references=[("c", 50)])
+        read = AlignedRead.simple("x", "c", 3, "GG", [10, 20])
+        buf = io.StringIO()
+        write_sam(buf, header, [read])
+        buf.seek(0)
+        _, records = read_sam(buf)
+        (back,) = list(records)
+        assert back.qname == "x"
+        assert back.pos == 3
+        assert np.array_equal(back.qual, [10, 20])
+
+    def test_sam_bam_agreement(self, tmp_path):
+        """The two codecs must represent records identically."""
+        from repro.io.bam import read_bam, write_bam
+
+        header = SamHeader(references=[("chr1", 500)], sort_order="coordinate")
+        reads = [
+            AlignedRead.simple(f"r{i}", "chr1", i, "ACGTA", [i % 40 + 2] * 5)
+            for i in range(30)
+        ]
+        sam_path = tmp_path / "x.sam"
+        bam_path = tmp_path / "x.bam"
+        write_sam(sam_path, header, reads)
+        write_bam(bam_path, header, reads)
+        _, sam_iter = read_sam(sam_path)
+        sam_records = list(sam_iter)
+        _, bam_records = read_bam(bam_path)
+        for a, b in zip(sam_records, bam_records):
+            assert a.qname == b.qname
+            assert a.pos == b.pos
+            assert a.seq == b.seq
+            assert np.array_equal(a.qual, b.qual)
+            assert a.cigar == b.cigar

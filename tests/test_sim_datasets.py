@@ -1,0 +1,82 @@
+"""Tests for the five-dataset paper suite (Figure 3's designed
+intersection structure)."""
+
+import pytest
+
+from repro.sim.datasets import PAPER_DEPTHS, paper_dataset_suite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    # Small and fast: short genome, deep scaling.
+    return paper_dataset_suite(
+        genome_length=1500, depth_scale=400.0, panel_scale=12.0, seed=99
+    )
+
+
+class TestStructure:
+    def test_five_datasets(self, suite):
+        assert len(suite) == 5
+        assert [d.spec.paper_depth for d in suite] == list(PAPER_DEPTHS)
+
+    def test_depths_scaled(self, suite):
+        for ds in suite:
+            assert ds.spec.depth == pytest.approx(
+                max(25.0, ds.spec.paper_depth / 400.0)
+            )
+            assert ds.sample.mean_depth == pytest.approx(ds.spec.depth, rel=0.1)
+
+    def test_same_genome_everywhere(self, suite):
+        names = {ds.sample.genome.name for ds in suite}
+        assert len(names) == 1
+        seqs = {ds.sample.genome.sequence for ds in suite}
+        assert len(seqs) == 1
+
+    def test_exactly_two_core_variants_shared_by_all(self, suite):
+        key_sets = [ds.panel.keys() for ds in suite]
+        core = set.intersection(*key_sets)
+        assert len(core) == 2
+
+    def test_deepest_pair_shares_most(self, suite):
+        """The 300000x/1000000x pair must share more than any other."""
+        key_sets = {ds.label: ds.panel.keys() for ds in suite}
+        labels = list(key_sets)
+        best_pair, best = None, -1
+        for i, a in enumerate(labels):
+            for b in labels[i + 1 :]:
+                n = len(key_sets[a] & key_sets[b])
+                if n > best:
+                    best_pair, best = (a, b), n
+        assert set(best_pair) == {"300000x", "1000000x"}
+
+    def test_100000x_has_most_unique(self, suite):
+        key_sets = {ds.label: ds.panel.keys() for ds in suite}
+        unique = {}
+        for label, keys in key_sets.items():
+            others = set().union(
+                *(k for l, k in key_sets.items() if l != label)
+            )
+            unique[label] = len(keys - others)
+        assert max(unique, key=unique.get) == "100000x"
+
+    def test_panel_refs_match_genome(self, suite):
+        for ds in suite:
+            ds.panel.validate_against(ds.sample.genome.sequence)
+
+    def test_frequencies_detectable_at_own_depth(self, suite):
+        """Every variant should expect several supporting reads, except
+        where the frequency cap (50%) binds at very shallow scaling."""
+        for ds in suite:
+            for v in ds.panel:
+                assert v.frequency * ds.spec.depth >= 4.0 or v.frequency >= 0.25
+
+    def test_reproducible(self):
+        a = paper_dataset_suite(
+            genome_length=800, depth_scale=500.0, panel_scale=20.0, seed=5
+        )
+        b = paper_dataset_suite(
+            genome_length=800, depth_scale=500.0, panel_scale=20.0, seed=5
+        )
+        for da, db in zip(a, b):
+            assert da.panel.keys() == db.panel.keys()
+            assert (da.sample.codes == db.sample.codes).all()

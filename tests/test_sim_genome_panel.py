@@ -1,0 +1,126 @@
+"""Tests for the genome generator and variant panels."""
+
+import numpy as np
+import pytest
+
+from repro.sim.genome import SARS_COV_2_LENGTH, random_genome, sars_cov_2_like
+from repro.sim.haplotypes import VariantPanel, VariantSpec, random_panel
+
+
+class TestGenome:
+    def test_reproducible(self):
+        a = random_genome(500, seed=3)
+        b = random_genome(500, seed=3)
+        assert a.sequence == b.sequence
+
+    def test_different_seeds_differ(self):
+        assert random_genome(500, seed=1).sequence != random_genome(500, seed=2).sequence
+
+    def test_length(self):
+        assert len(random_genome(777)) == 777
+
+    def test_gc_content_respected(self):
+        g = random_genome(50_000, gc_content=0.3, seed=0)
+        gc = sum(1 for b in g.sequence if b in "GC") / len(g)
+        assert gc == pytest.approx(0.3, abs=0.01)
+
+    def test_alphabet(self):
+        g = random_genome(1000, seed=1)
+        assert set(g.sequence) <= set("ACGT")
+
+    def test_sars_cov_2_defaults(self):
+        g = sars_cov_2_like(length=2000)
+        assert len(g) == 2000
+        assert g.name == "NC_045512.2-sim"
+
+    def test_sars_cov_2_full_length_constant(self):
+        assert SARS_COV_2_LENGTH == 29_903
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            random_genome(0)
+        with pytest.raises(ValueError):
+            random_genome(10, gc_content=1.5)
+
+
+class TestVariantSpec:
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            VariantSpec(0, "A", "T", 0.0)
+        with pytest.raises(ValueError):
+            VariantSpec(0, "A", "T", 1.5)
+
+    def test_ref_equals_alt_raises(self):
+        with pytest.raises(ValueError):
+            VariantSpec(0, "A", "A", 0.5)
+
+    def test_key_ignores_frequency(self):
+        a = VariantSpec(5, "A", "T", 0.1)
+        b = VariantSpec(5, "A", "T", 0.9)
+        assert a.key == b.key
+
+
+class TestPanel:
+    def test_duplicate_position_rejected(self):
+        panel = VariantPanel([VariantSpec(3, "A", "T", 0.1)])
+        with pytest.raises(ValueError, match="duplicate"):
+            panel.add(VariantSpec(3, "A", "G", 0.1))
+
+    def test_iteration_sorted_by_position(self):
+        panel = VariantPanel(
+            [VariantSpec(9, "A", "T", 0.1), VariantSpec(2, "C", "G", 0.1)]
+        )
+        assert [v.pos for v in panel] == [2, 9]
+
+    def test_membership_and_lookup(self):
+        v = VariantSpec(4, "G", "C", 0.2)
+        panel = VariantPanel([v])
+        assert 4 in panel
+        assert 5 not in panel
+        assert panel.at(4) == v
+        assert panel.at(5) is None
+
+    def test_validate_against_genome(self):
+        panel = VariantPanel([VariantSpec(1, "C", "T", 0.1)])
+        panel.validate_against("ACGT")  # fine
+        bad = VariantPanel([VariantSpec(1, "G", "T", 0.1)])
+        with pytest.raises(ValueError, match="claims ref"):
+            bad.validate_against("ACGT")
+        beyond = VariantPanel([VariantSpec(10, "A", "T", 0.1)])
+        with pytest.raises(ValueError, match="beyond"):
+            beyond.validate_against("ACGT")
+
+
+class TestRandomPanel:
+    def test_reproducible(self):
+        g = random_genome(2000, seed=1).sequence
+        a = random_panel(g, 10, seed=5)
+        b = random_panel(g, 10, seed=5)
+        assert a.keys() == b.keys()
+
+    def test_respects_exclusions(self):
+        g = random_genome(100, seed=1).sequence
+        excluded = set(range(0, 100, 2))
+        panel = random_panel(g, 20, seed=0, exclude_positions=excluded)
+        assert not (set(panel.positions()) & excluded)
+
+    def test_frequency_range(self):
+        g = random_genome(2000, seed=1).sequence
+        panel = random_panel(g, 50, freq_range=(0.01, 0.02), seed=0)
+        for v in panel:
+            assert 0.01 <= v.frequency <= 0.02
+
+    def test_refs_match_genome(self):
+        g = random_genome(500, seed=2).sequence
+        panel = random_panel(g, 20, seed=3)
+        panel.validate_against(g)
+
+    def test_explicit_positions(self):
+        g = random_genome(100, seed=1).sequence
+        panel = random_panel(g, 3, positions=[5, 10, 15], seed=0)
+        assert panel.positions() == [5, 10, 15]
+
+    def test_too_many_variants_raises(self):
+        g = random_genome(10, seed=1).sequence
+        with pytest.raises(ValueError, match="cannot place"):
+            random_panel(g, 50, seed=0)

@@ -1,0 +1,189 @@
+"""Tests for the read simulator, most importantly the *calibration*
+property: injected error rates must equal quality-implied rates, which
+is what makes the caller's null model correct on simulated data."""
+
+import numpy as np
+import pytest
+
+from repro.io.regions import Region
+from repro.pileup.vectorized import pileup_sample
+from repro.sim.genome import random_genome
+from repro.sim.haplotypes import VariantPanel, VariantSpec, random_panel
+from repro.sim.quality import QualityModel
+from repro.sim.reads import ReadSimulator, decode_row, encode_sequence
+
+
+@pytest.fixture(scope="module")
+def flat_genome():
+    return random_genome(600, seed=77)
+
+
+class TestEncoding:
+    def test_round_trip(self):
+        seq = "ACGTNACGT"
+        assert decode_row(encode_sequence(seq)) == seq
+
+    def test_unknown_maps_to_n(self):
+        assert decode_row(encode_sequence("AXB")) == "ANN"
+
+
+class TestBasicProperties:
+    def test_reproducible(self, flat_genome):
+        sim = ReadSimulator(flat_genome, read_length=50)
+        a = sim.simulate(depth=30, seed=4)
+        b = sim.simulate(depth=30, seed=4)
+        assert np.array_equal(a.codes, b.codes)
+        assert np.array_equal(a.quals, b.quals)
+        assert np.array_equal(a.starts, b.starts)
+
+    def test_starts_sorted(self, flat_genome):
+        sample = ReadSimulator(flat_genome, read_length=50).simulate(30, seed=1)
+        assert np.all(np.diff(sample.starts) >= 0)
+
+    def test_reads_within_genome(self, flat_genome):
+        sample = ReadSimulator(flat_genome, read_length=50).simulate(30, seed=1)
+        assert sample.starts.min() >= 0
+        assert (sample.starts + 50).max() <= len(flat_genome)
+
+    def test_mean_depth_close_to_requested(self, flat_genome):
+        sample = ReadSimulator(flat_genome, read_length=50).simulate(100, seed=2)
+        assert sample.mean_depth == pytest.approx(100, rel=0.02)
+
+    def test_both_strands_present(self, flat_genome):
+        sample = ReadSimulator(flat_genome, read_length=50).simulate(50, seed=3)
+        frac_rev = sample.reverse.mean()
+        assert 0.4 < frac_rev < 0.6
+
+    def test_read_length_validation(self, flat_genome):
+        with pytest.raises(ValueError):
+            ReadSimulator(flat_genome, read_length=0)
+        with pytest.raises(ValueError):
+            ReadSimulator(flat_genome, read_length=10_000)
+
+    def test_depth_validation(self, flat_genome):
+        sim = ReadSimulator(flat_genome, read_length=50)
+        with pytest.raises(ValueError):
+            sim.simulate(0)
+
+    def test_read_objects_match_matrices(self, flat_genome):
+        sim = ReadSimulator(flat_genome, read_length=40)
+        sample = sim.simulate(10, seed=5)
+        reads = sample.read_list()
+        assert len(reads) == sample.n_reads
+        for i in (0, len(reads) // 2, -1):
+            read = reads[i]
+            assert read.pos == sample.starts[i]
+            assert read.seq == decode_row(sample.codes[i])
+            assert np.array_equal(read.qual, sample.quals[i])
+            assert read.is_reverse == bool(sample.reverse[i])
+
+
+class TestCalibration:
+    """The statistical contract with the caller."""
+
+    def test_error_rate_matches_quality(self):
+        """Empirical mismatch rate == mean quality-implied error rate,
+        on a variant-free sample."""
+        genome = random_genome(400, seed=9)
+        sim = ReadSimulator(
+            genome,
+            quality_model=QualityModel(q_start=25, q_end=25, jitter=0.0),
+            read_length=60,
+        )
+        sample = sim.simulate(depth=800, seed=10)
+        ref_codes = encode_sequence(genome.sequence)
+        expected_rate = 10 ** (-25 / 10)
+        window = ref_codes[sample.starts[:, None] + np.arange(60)[None, :]]
+        mismatches = (sample.codes != window).mean()
+        # ~1.9M bases observed; binomial noise is tiny.
+        assert mismatches == pytest.approx(expected_rate, rel=0.05)
+
+    def test_per_quality_calibration(self):
+        """Bucket by emitted quality score: each bucket's mismatch rate
+        must match its own implied probability."""
+        genome = random_genome(300, seed=12)
+        sim = ReadSimulator(
+            genome,
+            quality_model=QualityModel(q_start=35, q_end=15, jitter=4.0),
+            read_length=50,
+        )
+        sample = sim.simulate(depth=2000, seed=13)
+        ref_codes = encode_sequence(genome.sequence)
+        window = ref_codes[sample.starts[:, None] + np.arange(50)[None, :]]
+        mism = sample.codes != window
+        for q in (15, 20, 25, 30):
+            mask = sample.quals == q
+            if mask.sum() < 50_000:
+                continue
+            rate = mism[mask].mean()
+            assert rate == pytest.approx(10 ** (-q / 10), rel=0.15)
+
+    def test_variant_frequency_concentrates(self):
+        """Observed allele frequency ~ designed frequency."""
+        genome = random_genome(300, seed=20)
+        pos = 150
+        ref = genome.sequence[pos]
+        alt = "A" if ref != "A" else "C"
+        panel = VariantPanel([VariantSpec(pos, ref, alt, 0.10)])
+        sim = ReadSimulator(genome, panel, read_length=50)
+        sample = sim.simulate(depth=3000, seed=21)
+        region = Region(genome.name, pos, pos + 1)
+        (col,) = list(pileup_sample(sample, region))
+        from repro.pileup.column import BASE_TO_CODE
+
+        af = col.allele_depth(BASE_TO_CODE[alt]) / col.depth
+        assert af == pytest.approx(0.10, abs=0.02)
+
+    def test_null_sample_has_no_high_af_sites(self, null_sample):
+        """Without injected variants no column should show an allele
+        at >5% frequency at 300x (errors are ~0.1%)."""
+        from repro.pileup.column import BASE_TO_CODE
+
+        for col in pileup_sample(
+            null_sample, Region(null_sample.genome.name, 0, 300)
+        ):
+            for code in range(4):
+                if code == col.ref_code:
+                    continue
+                af = col.allele_depth(code) / max(1, col.depth)
+                assert af < 0.05
+
+
+class TestQualityModel:
+    def test_sample_shape_and_range(self, rng):
+        qm = QualityModel.hiseq()
+        q = qm.sample_many(100, 50, rng)
+        assert q.shape == (100, 50)
+        assert q.min() >= 2
+        assert q.max() <= 41
+
+    def test_decay_along_read(self, rng):
+        qm = QualityModel(q_start=40, q_end=20, jitter=0.0)
+        q = qm.sample(100, rng)
+        assert q[0] > q[-1]
+        assert q[0] == 40
+        assert q[-1] == 20
+
+    def test_long_read_profile_is_high_error(self):
+        lr = QualityModel.long_read()
+        hs = QualityModel.hiseq()
+        assert lr.expected_error_rate(100) > 10 * hs.expected_error_rate(100)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            QualityModel(jitter=-1.0)
+        with pytest.raises(ValueError):
+            QualityModel().mean_curve(0)
+
+    def test_reverse_reads_have_flipped_curve(self):
+        genome = random_genome(300, seed=30)
+        sim = ReadSimulator(
+            genome,
+            quality_model=QualityModel(q_start=40, q_end=10, jitter=0.0),
+            read_length=50,
+        )
+        sample = sim.simulate(depth=50, seed=31)
+        fwd = sample.quals[~sample.reverse]
+        rev = sample.quals[sample.reverse]
+        assert fwd[:, 0].mean() > fwd[:, -1].mean()
+        assert rev[:, 0].mean() < rev[:, -1].mean()

@@ -1,0 +1,98 @@
+"""Tests for special functions, cross-checked against SciPy (the role
+GSL plays upstream)."""
+
+import math
+
+import pytest
+from scipy import special as sps
+
+from repro.stats.special import (
+    log_gamma,
+    log_sum_exp,
+    lower_regularized_gamma,
+    phred_to_prob,
+    prob_to_phred,
+    upper_regularized_gamma,
+)
+
+
+class TestLogGamma:
+    @pytest.mark.parametrize(
+        "x", [0.1, 0.5, 1.0, 1.5, 2.0, 5.0, 10.0, 100.0, 1e4, 1e6]
+    )
+    def test_matches_scipy(self, x):
+        assert log_gamma(x) == pytest.approx(sps.gammaln(x), rel=1e-12)
+
+    def test_factorial_identity(self):
+        # Gamma(n+1) = n!
+        assert math.exp(log_gamma(6.0)) == pytest.approx(120.0, rel=1e-12)
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            log_gamma(0.0)
+        with pytest.raises(ValueError):
+            log_gamma(-2.5)
+
+
+class TestRegularizedGamma:
+    @pytest.mark.parametrize("a", [0.5, 1.0, 2.0, 10.0, 100.0, 5000.0])
+    @pytest.mark.parametrize("ratio", [0.1, 0.5, 0.9, 1.0, 1.1, 2.0, 5.0])
+    def test_lower_matches_scipy(self, a, ratio):
+        x = a * ratio
+        assert lower_regularized_gamma(a, x) == pytest.approx(
+            sps.gammainc(a, x), rel=1e-10, abs=1e-300
+        )
+
+    @pytest.mark.parametrize("a", [0.5, 1.0, 2.0, 10.0, 100.0, 5000.0])
+    @pytest.mark.parametrize("ratio", [0.1, 0.5, 0.9, 1.0, 1.1, 2.0, 5.0])
+    def test_upper_matches_scipy(self, a, ratio):
+        x = a * ratio
+        assert upper_regularized_gamma(a, x) == pytest.approx(
+            sps.gammaincc(a, x), rel=1e-10, abs=1e-300
+        )
+
+    def test_complementarity(self):
+        for a, x in [(3.0, 2.0), (10.0, 15.0), (500.0, 400.0)]:
+            total = lower_regularized_gamma(a, x) + upper_regularized_gamma(a, x)
+            assert total == pytest.approx(1.0, rel=1e-12)
+
+    def test_x_zero(self):
+        assert lower_regularized_gamma(5.0, 0.0) == 0.0
+        assert upper_regularized_gamma(5.0, 0.0) == 1.0
+
+    def test_deep_tail_has_relative_accuracy(self):
+        # Q(10, 50) ~ 1.7e-13: subtraction-free path must stay accurate.
+        ours = upper_regularized_gamma(10.0, 50.0)
+        ref = sps.gammaincc(10.0, 50.0)
+        assert ours == pytest.approx(ref, rel=1e-8)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            lower_regularized_gamma(0.0, 1.0)
+        with pytest.raises(ValueError):
+            lower_regularized_gamma(1.0, -1.0)
+
+    def test_monotone_in_x(self):
+        values = [lower_regularized_gamma(4.0, x) for x in (0.5, 1, 2, 4, 8, 16)]
+        assert values == sorted(values)
+
+
+class TestHelpers:
+    def test_log_sum_exp_basic(self):
+        got = log_sum_exp(math.log(0.25), math.log(0.75))
+        assert got == pytest.approx(0.0, abs=1e-12)
+
+    def test_log_sum_exp_with_neg_inf(self):
+        assert log_sum_exp(-math.inf, 1.5) == 1.5
+        assert log_sum_exp(1.5, -math.inf) == 1.5
+
+    def test_log_sum_exp_no_overflow(self):
+        got = log_sum_exp(1000.0, 1000.0)
+        assert got == pytest.approx(1000.0 + math.log(2.0))
+
+    def test_phred_prob_round_trip(self):
+        for q in (2, 10, 20, 30, 41):
+            assert prob_to_phred(phred_to_prob(q)) == pytest.approx(q)
+
+    def test_prob_to_phred_caps_at_zero_prob(self):
+        assert prob_to_phred(0.0) == 99.0

@@ -1,0 +1,99 @@
+"""Unit tests for the VCF codec."""
+
+import io
+import math
+
+import pytest
+
+from repro.io.vcf import VcfRecord, iter_vcf, read_vcf, write_vcf
+
+
+def make_record(**kwargs):
+    defaults = dict(
+        chrom="chr1",
+        pos=99,
+        ref="A",
+        alt="T",
+        qual=77.5,
+        filter="PASS",
+        info={"DP": 1000, "AF": 0.013, "SB": 3, "DP4": (480, 490, 7, 6)},
+    )
+    defaults.update(kwargs)
+    return VcfRecord(**defaults)
+
+
+class TestRecord:
+    def test_to_line_is_one_based(self):
+        line = make_record().to_line()
+        fields = line.split("\t")
+        assert fields[0] == "chr1"
+        assert fields[1] == "100"
+        assert fields[3] == "A"
+        assert fields[4] == "T"
+
+    def test_line_round_trip(self):
+        rec = make_record()
+        back = VcfRecord.from_line(rec.to_line())
+        assert back.chrom == rec.chrom
+        assert back.pos == rec.pos
+        assert back.ref == rec.ref
+        assert back.alt == rec.alt
+        assert back.qual == pytest.approx(rec.qual)
+        assert back.filter == "PASS"
+        assert back.info["DP"] == 1000
+        assert back.info["AF"] == pytest.approx(0.013)
+        assert back.info["DP4"] == (480, 490, 7, 6)
+
+    def test_missing_qual(self):
+        rec = make_record(qual=float("nan"))
+        line = rec.to_line()
+        assert line.split("\t")[5] == "."
+        assert math.isnan(VcfRecord.from_line(line).qual)
+
+    def test_flag_info(self):
+        rec = make_record(info={"TRUTH": True})
+        back = VcfRecord.from_line(rec.to_line())
+        assert back.info["TRUTH"] is True
+
+    def test_key(self):
+        assert make_record().key == ("chr1", 99, "A", "T")
+
+    def test_short_line_raises(self):
+        with pytest.raises(ValueError, match="columns"):
+            VcfRecord.from_line("chr1\t100\t.\tA")
+
+
+class TestFile:
+    def test_file_round_trip(self, tmp_path):
+        records = [make_record(pos=i) for i in range(10)]
+        path = tmp_path / "x.vcf"
+        assert write_vcf(path, records, reference=[("chr1", 1000)]) == 10
+        headers, back = read_vcf(path)
+        assert len(back) == 10
+        assert any("fileformat=VCFv4.2" in h for h in headers)
+        assert any("contig=<ID=chr1" in h for h in headers)
+        assert [r.pos for r in back] == list(range(10))
+
+    def test_header_structure(self):
+        buf = io.StringIO()
+        write_vcf(buf, [make_record()], extra_headers=["##extra=1"])
+        text = buf.getvalue()
+        lines = text.splitlines()
+        assert lines[0] == "##fileformat=VCFv4.2"
+        assert "##extra=1" in lines
+        chrom_line = [l for l in lines if l.startswith("#CHROM")]
+        assert len(chrom_line) == 1
+
+    def test_iter_vcf_skips_headers(self, tmp_path):
+        path = tmp_path / "y.vcf"
+        write_vcf(path, [make_record(pos=5)])
+        records = list(iter_vcf(path))
+        assert len(records) == 1
+        assert records[0].pos == 5
+
+    def test_empty_vcf(self, tmp_path):
+        path = tmp_path / "empty.vcf"
+        write_vcf(path, [])
+        headers, records = read_vcf(path)
+        assert records == []
+        assert headers
