@@ -72,7 +72,8 @@ def test_fig1a_distribution_series(benchmark, deep_column_probs):
 
 def test_fig1b_workflow_census(benchmark, table1_workload):
     """The workflow of Figure 1b, measured: decision-path fractions on
-    a deep dataset under the improved caller."""
+    a deep dataset under the improved caller -- and the batched
+    engine's census, which must be identical."""
     _, _, samples = table1_workload
     sample = samples[max(samples)]
 
@@ -80,6 +81,11 @@ def test_fig1b_workflow_census(benchmark, table1_workload):
         return VariantCaller(CallerConfig.improved()).call_sample(sample)
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
+    batched = VariantCaller(
+        CallerConfig.improved(engine="batched")
+    ).call_sample(sample)
+    assert batched.stats.decisions == result.stats.decisions
+    assert batched.keys() == result.keys()
     stats = result.stats
     total = stats.tests_run
     lines = [
@@ -101,6 +107,10 @@ def test_fig1b_workflow_census(benchmark, table1_workload):
     lines.append(
         f"approximation evaluations: {stats.approx_invocations}, "
         f"exact DP invocations: {stats.dp_invocations}"
+    )
+    lines.append(
+        "batched engine census identical: "
+        f"{batched.stats.decisions == stats.decisions}"
     )
     assert stats.skip_fraction() > 0.5
     write_report("fig1b.txt", "\n".join(lines))

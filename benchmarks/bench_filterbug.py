@@ -13,7 +13,6 @@ OpenMP-style driver at several worker counts (outputs identical to the
 single-process run).
 """
 
-import numpy as np
 import pytest
 
 from repro.core.caller import VariantCaller
@@ -109,12 +108,14 @@ def test_filterbug_mode_runtime(benchmark, tricky_sample, mode):
     4-way work split)."""
     genome, sample = tricky_sample
     if mode == "legacy":
-        fn = lambda: legacy_parallel_call(
-            sample, genome.sequence, n_partitions=4
-        )
+        def fn():
+            return legacy_parallel_call(
+                sample, genome.sequence, n_partitions=4
+            )
     else:
-        fn = lambda: parallel_call(
-            sample, genome.sequence,
-            options=ParallelCallOptions(n_workers=4),
-        )
+        def fn():
+            return parallel_call(
+                sample, genome.sequence,
+                options=ParallelCallOptions(n_workers=4),
+            )
     benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -13,7 +13,7 @@ import pytest
 
 from repro.parallel.openmp import ParallelCallOptions, parallel_call
 
-from conftest import write_report
+from conftest import FAST, write_report
 
 WORKER_COUNTS = [1, 2, 4, 8]
 
@@ -74,8 +74,12 @@ def test_scaling_report(benchmark, hotspot_sample):
             f"{speedup / workers:>10.1%}"
         )
     # Sanity: more workers should not be dramatically slower (allow
-    # fork/IPC overhead at this small scale to eat the gains).
-    assert rows[-1][1] < t1 * 1.5
+    # fork/IPC overhead at this small scale to eat the gains).  In the
+    # FAST smoke profile the workload is so small that fork overhead
+    # alone exceeds the compute; only the output-identity assertions
+    # above are meaningful there.
+    if not FAST:
+        assert rows[-1][1] < t1 * 1.5
     lines.append("")
     lines.append(
         "output identical at every worker count (asserted); absolute "

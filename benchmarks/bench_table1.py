@@ -29,7 +29,7 @@ import pytest
 from repro.core.caller import VariantCaller
 from repro.core.config import CallerConfig
 
-from conftest import write_report
+from conftest import FAST, write_report
 
 
 def _call(sample, config):
@@ -41,18 +41,24 @@ def _depth_params(table1_workload):
     return sorted(samples)
 
 
+#: The Table I versions plus the batched engine (same algorithm as
+#: "improved", chunk-level vectorised screening).
+VERSION_CONFIGS = {
+    "original": lambda: CallerConfig.original(),
+    "improved": lambda: CallerConfig.improved(),
+    "improved-batched": lambda: CallerConfig.improved(engine="batched"),
+}
+
+
 @pytest.mark.parametrize("depth", [50, 500, 2000, 8000, 20000])
-@pytest.mark.parametrize("version", ["original", "improved"])
+@pytest.mark.parametrize("version", sorted(VERSION_CONFIGS))
 def test_table1_runtime(benchmark, table1_workload, depth, version):
     """One cell of Table I: one version at one depth."""
     _, _, samples = table1_workload
     if depth not in samples:
         pytest.skip("depth not in this scale profile")
     sample = samples[depth]
-    config = (
-        CallerConfig.original() if version == "original"
-        else CallerConfig.improved()
-    )
+    config = VERSION_CONFIGS[version]()
     result = benchmark.pedantic(
         _call, args=(sample, config), rounds=1, iterations=1, warmup_rounds=0
     )
@@ -77,7 +83,10 @@ def test_table1_report(benchmark, table1_workload):
             t0 = time.perf_counter()
             new = _call(sample, CallerConfig.improved())
             t_new = time.perf_counter() - t0
-            rows.append((depth, t_orig, t_new, orig, new))
+            t0 = time.perf_counter()
+            bat = _call(sample, CallerConfig.improved(engine="batched"))
+            t_bat = time.perf_counter() - t0
+            rows.append((depth, t_orig, t_new, t_bat, orig, new, bat))
         return rows
 
     rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
@@ -86,25 +95,35 @@ def test_table1_report(benchmark, table1_workload):
         "Table I reproduction (scaled ~50x: depths 50x-20,000x, 300 nt genome)",
         "paper: 1.0x / 2.6x / 3.3x / 4.6x / 3.7x at 1k/30k/100k/300k/1M depth",
         "",
-        f"{'depth':>8} {'orig (s)':>10} {'new (s)':>10} {'speedup':>8} "
-        f"{'orig calls':>10} {'new calls':>10} {'identical':>9}",
+        f"{'depth':>8} {'orig (s)':>10} {'new (s)':>10} {'batched (s)':>11} "
+        f"{'speedup':>8} {'orig calls':>10} {'new calls':>10} {'identical':>9}",
     ]
     shallowest_speedup = None
     speedups = []
-    for depth, t_orig, t_new, orig, new in rows:
-        identical = orig.keys() == new.keys()
+    for depth, t_orig, t_new, t_bat, orig, new, bat in rows:
+        identical = (
+            orig.keys() == new.keys()
+            and new.keys() == bat.keys()
+            and new.stats.decisions == bat.stats.decisions
+        )
         speedup = t_orig / t_new if t_new > 0 else float("inf")
         speedups.append(speedup)
         if shallowest_speedup is None:
             shallowest_speedup = speedup
         lines.append(
-            f"{depth:>8} {t_orig:>10.3f} {t_new:>10.3f} {speedup:>7.2f}x "
+            f"{depth:>8} {t_orig:>10.3f} {t_new:>10.3f} {t_bat:>11.3f} "
+            f"{speedup:>7.2f}x "
             f"{len(orig.passed):>10} {len(new.passed):>10} {str(identical):>9}"
         )
-        # Paper's headline: identical output at every depth.
+        # Paper's headline: identical output at every depth -- now
+        # across three implementations.
         assert identical, f"call sets diverged at depth {depth}"
-    # Speed-up must grow from ~1x to a clear win at depth.
-    assert speedups[0] < 1.6, "no-op regime should be ~1x"
-    assert max(speedups[2:]) > 1.8, "deep regime should show a clear speed-up"
-    assert speedups[-1] == max(speedups) or speedups[-2] == max(speedups)
+    # Speed-up must grow from ~1x to a clear win at depth.  The FAST
+    # smoke profile's shallow cells finish in milliseconds, where
+    # wall-clock ratios are scheduler noise -- only the output-identity
+    # assertions above are meaningful there.
+    if not FAST:
+        assert speedups[0] < 1.6, "no-op regime should be ~1x"
+        assert max(speedups[2:]) > 1.8, "deep regime should show a speed-up"
+        assert speedups[-1] == max(speedups) or speedups[-2] == max(speedups)
     write_report("table1.txt", "\n".join(lines))

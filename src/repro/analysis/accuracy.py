@@ -11,7 +11,7 @@ negatives, precision, recall, F1, and a per-frequency-band breakdown
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, Sequence, Tuple
 
 from repro.core.results import VariantCall
 from repro.sim.haplotypes import VariantPanel

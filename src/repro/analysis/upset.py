@@ -17,7 +17,7 @@ plus per-set totals (the paper's bottom-left bars).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Tuple
 
 __all__ = ["UpsetResult", "compute_upset", "render_upset"]
 

@@ -15,7 +15,7 @@ by ``benchmarks/bench_cache.py`` for the paper's Discussion claims.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List
+from typing import Iterable, List
 
 __all__ = ["CacheStats", "SetAssociativeCache"]
 

@@ -22,8 +22,7 @@ the "running in parallel spills the shared cache" claim is tested.
 
 from __future__ import annotations
 
-import itertools
-from typing import Dict, Iterable, Iterator, List, Sequence
+from typing import Dict, Iterable, Iterator, Sequence
 
 from repro.cachesim.cache import CacheStats, SetAssociativeCache
 

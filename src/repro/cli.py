@@ -19,7 +19,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 __all__ = ["main", "build_parser"]
 
@@ -58,6 +58,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["improved", "original"],
         default="improved",
         help="improved = paper's Poisson-approximation shortcut",
+    )
+    p_call.add_argument(
+        "--engine",
+        choices=["streaming", "batched"],
+        default="streaming",
+        help="column evaluation: per-allele streaming loop or the "
+        "vectorised chunk-level batched engine (identical output)",
     )
     p_call.add_argument("--alpha", type=float, default=0.05)
     p_call.add_argument("--margin", type=float, default=0.01)
@@ -161,6 +168,7 @@ def _cmd_call(args: argparse.Namespace) -> int:
         approx_margin=args.margin,
         approx_min_depth=args.min_approx_depth,
         bonferroni=args.bonferroni,
+        engine=args.engine,
     )
     config = (
         CallerConfig.improved(**kwargs)
@@ -216,7 +224,7 @@ def _legacy_call_bam(bam_path, reference, region, config, n_partitions):
     through the pileup per partition (demonstration path)."""
     from repro.core.caller import VariantCaller
     from repro.core.filters import DynamicFilterPolicy, apply_filters
-    from repro.core.results import CallResult, RunStats, VariantCall
+    from repro.core.results import CallResult, RunStats
     from repro.io.bam import BamReader
     from repro.io.regions import Region
     from repro.parallel.partition import partition_region

@@ -5,6 +5,9 @@
 * :mod:`repro.core.model` -- the quality-implied error model.
 * :mod:`repro.core.workflow` -- the Figure 1b decision workflow
   (Poisson first-pass filter -> exact Poisson-binomial DP).
+* :mod:`repro.core.batched` -- the chunk-level engine: one vectorised
+  screening pass over every (column, allele) pair, exact DP only for
+  the survivors (identical output, ``engine="batched"``).
 * :mod:`repro.core.caller` -- :class:`VariantCaller`, the column loop
   over any pileup substrate.
 * :mod:`repro.core.filters` -- post-call filtering, including the
@@ -14,6 +17,7 @@
   and :class:`CallResult`.
 """
 
+from repro.core.batched import evaluate_columns_batched
 from repro.core.caller import VariantCaller
 from repro.core.config import CallerConfig
 from repro.core.filters import (
@@ -24,7 +28,12 @@ from repro.core.filters import (
     filter_twice,
 )
 from repro.core.results import CallResult, ColumnDecision, RunStats, VariantCall
-from repro.core.workflow import AlleleOutcome, decide_allele, evaluate_column
+from repro.core.workflow import (
+    AlleleOutcome,
+    decide_allele,
+    evaluate_column,
+    exact_allele_decision,
+)
 
 __all__ = [
     "AlleleOutcome",
@@ -39,6 +48,8 @@ __all__ = [
     "apply_filters",
     "decide_allele",
     "evaluate_column",
+    "evaluate_columns_batched",
+    "exact_allele_decision",
     "filter_once",
     "filter_twice",
 ]

@@ -48,6 +48,12 @@ class CallerConfig:
             probability.
         early_stop: enable LoFreq's DP pruning (running tail already
             above threshold => abandon).
+        engine: column-evaluation strategy.  ``"streaming"`` runs the
+            Figure 1b workflow one allele at a time;  ``"batched"``
+            screens every (column, allele) pair of a chunk in one
+            vectorised Poisson-tail pass and only loops over the
+            screening survivors (identical calls and decision counts,
+            see :mod:`repro.core.batched`).
     """
 
     alpha: float = 0.05
@@ -61,8 +67,13 @@ class CallerConfig:
     min_af: float = 0.0
     merge_mapq: bool = False
     early_stop: bool = True
+    engine: str = "streaming"
 
     def __post_init__(self) -> None:
+        if self.engine not in ("streaming", "batched"):
+            raise ValueError(
+                f"engine must be 'streaming' or 'batched', got {self.engine!r}"
+            )
         if not (0.0 < self.alpha < 1.0):
             raise ValueError(f"alpha must be in (0, 1), got {self.alpha}")
         if self.approx_margin < 0.0:

@@ -13,7 +13,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.io.vcf import VcfRecord
 

@@ -29,7 +29,7 @@ identical on all benchmark datasets.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
@@ -41,7 +41,12 @@ from repro.stats.approximation import poisson_tail_approx
 from repro.stats.fisher import strand_bias_phred
 from repro.stats.poisson_binomial import poibin_sf_dp
 
-__all__ = ["AlleleOutcome", "evaluate_column", "decide_allele"]
+__all__ = [
+    "AlleleOutcome",
+    "evaluate_column",
+    "decide_allele",
+    "exact_allele_decision",
+]
 
 
 @dataclasses.dataclass
@@ -94,6 +99,32 @@ def decide_allele(
             stats.record_decision(ColumnDecision.SKIPPED_APPROX)
             return AlleleOutcome(ColumnDecision.SKIPPED_APPROX, p_hat=p_hat)
 
+    return exact_allele_decision(
+        column, alt_code, alt_count, probs, corrected_alpha, config, stats,
+        p_hat=p_hat,
+    )
+
+
+def exact_allele_decision(
+    column: PileupColumn,
+    alt_code: int,
+    alt_count: int,
+    probs: np.ndarray,
+    corrected_alpha: float,
+    config: CallerConfig,
+    stats: RunStats,
+    *,
+    p_hat: Optional[float] = None,
+) -> AlleleOutcome:
+    """The exact half of the workflow: pruned DP, significance test,
+    count/frequency filters, call emission.
+
+    Shared verbatim by the streaming path (:func:`decide_allele`) and
+    the batched engine (:mod:`repro.core.batched`), which is what makes
+    their call sets and decision censuses identical by construction for
+    every allele that survives screening.
+    """
+    depth = column.depth
     prune = corrected_alpha if config.early_stop else None
     dp = poibin_sf_dp(alt_count, probs, prune_above=prune)
     stats.dp_invocations += 1

@@ -22,7 +22,7 @@ import os
 import struct
 import time
 import zlib
-from typing import BinaryIO, Iterator, List, Tuple, Union
+from typing import BinaryIO, List, Tuple, Union
 
 __all__ = [
     "BgzfReader",

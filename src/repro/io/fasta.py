@@ -8,7 +8,6 @@ uppercased on read so downstream base comparisons are case-insensitive.
 from __future__ import annotations
 
 import dataclasses
-import io
 import os
 from typing import Dict, Iterable, Iterator, List, TextIO, Union
 

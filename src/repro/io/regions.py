@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import dataclasses
 import re
-from typing import Iterator, List, Sequence
+from typing import List, Sequence
 
 __all__ = ["Region", "parse_region", "split_region", "merge_regions"]
 

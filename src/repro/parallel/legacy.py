@@ -19,7 +19,7 @@ does not share it.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.core.caller import VariantCaller
 from repro.core.config import CallerConfig

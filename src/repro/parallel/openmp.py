@@ -10,6 +10,12 @@ Faithful to the paper's experimental branch:
 * workers produce raw (unfiltered) calls so the dynamic post-filter
   runs exactly **once** on the merged result -- the fix for the
   legacy wrapper's double-filtering inconsistency;
+* each chunk is evaluated by the engine ``config.engine`` selects --
+  the per-allele streaming loop or the vectorised batched engine
+  (:mod:`repro.core.batched`); the dispatch happens inside
+  :meth:`~repro.core.caller.VariantCaller.call_columns` per chunk, so
+  batched screening amortises over exactly one scheduling chunk at a
+  time and composes with every scheduler/backend combination;
 * every worker records trace events (decompress / bam-iter / prob /
   barrier) so the run can be rendered as the paper's Figure 2.
 

@@ -64,6 +64,8 @@ class DynamicScheduler:
     name = "dynamic"
 
     def __init__(self, items: Sequence[T], n_workers: int) -> None:
+        if n_workers <= 0:
+            raise ValueError(f"n_workers must be positive, got {n_workers}")
         self._items = list(items)
         self._cursor = 0
         self._lock = threading.Lock()

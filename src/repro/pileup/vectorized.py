@@ -14,7 +14,7 @@ dominates the measured runtimes.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, Optional
 
 import numpy as np
 
@@ -45,18 +45,35 @@ def pileup_from_arrays(
         reverse: bool strand vector, shape ``(n,)``.
         reference: full reference sequence (indexed absolutely).
         region: half-open interval to emit columns for.
-        config: quality filters and depth cap (same semantics as the
-            streaming engine).
+        config: quality filters and depth cap.  Only the *quality*
+            semantics of the streaming engine apply here: matrix input
+            carries no SAM flags, so the flag-based read filters
+            (``include_duplicates`` / ``include_secondary`` /
+            ``include_qcfail``) have no effect -- every read in the
+            matrix is treated as a primary, non-duplicate, QC-pass
+            alignment.
         mapq: mapping quality stamped on all reads (the simulator uses
             a constant; per-read vectors would be a trivial extension).
+            The ``min_mapq`` filter compares against this *raw* value;
+            values above 255 are only saturated to 255 afterwards, when
+            stamped into the column's uint8 ``mapqs`` array (so e.g.
+            ``mapq=300`` passes a ``min_mapq=260`` filter but reads
+            back as 255, the SAM-format ceiling).
 
     Yields:
         Non-empty :class:`PileupColumn` in increasing position order.
+
+    Raises:
+        ValueError: on inconsistent array shapes or negative ``mapq``
+            (which a bare uint8 cast would silently wrap or reject
+            depending on the NumPy version).
     """
     cfg = config or PileupConfig()
     n, rl = codes.shape
     if starts.shape != (n,) or quals.shape != (n, rl) or reverse.shape != (n,):
         raise ValueError("read matrix arrays are not mutually consistent")
+    if mapq < 0:
+        raise ValueError(f"mapq must be non-negative, got {mapq}")
     if mapq < cfg.min_mapq:
         return
 

@@ -24,13 +24,13 @@ sensitivity -- the same two forces at work in the paper's Figure 3.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.io.fasta import FastaRecord
 from repro.sim.genome import sars_cov_2_like
-from repro.sim.haplotypes import VariantPanel, VariantSpec, random_panel
+from repro.sim.haplotypes import VariantPanel, VariantSpec
 from repro.sim.quality import QualityModel
 from repro.sim.reads import ReadSimulator, SimulatedSample
 

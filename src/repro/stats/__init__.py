@@ -27,12 +27,18 @@ from repro.stats.approximation import (
     le_cam_bound,
     poisson_lambda,
     poisson_tail_approx,
+    poisson_tail_approx_batch,
 )
 from repro.stats.correction import bonferroni_alpha, default_test_count
 from repro.stats.dftcf import poibin_pmf_dftcf, poibin_sf_dftcf
 from repro.stats.fisher import fisher_exact, strand_bias_phred
 from repro.stats.normal_approx import poibin_sf_refined_normal
-from repro.stats.poisson import poisson_cdf, poisson_pmf, poisson_sf
+from repro.stats.poisson import (
+    poisson_cdf,
+    poisson_pmf,
+    poisson_sf,
+    poisson_sf_batch,
+)
 from repro.stats.poisson_binomial import (
     poibin_pmf_dp,
     poibin_sf,
@@ -41,7 +47,9 @@ from repro.stats.poisson_binomial import (
 )
 from repro.stats.special import (
     log_gamma,
+    log_gamma_batch,
     lower_regularized_gamma,
+    lower_regularized_gamma_batch,
     upper_regularized_gamma,
 )
 
@@ -51,7 +59,9 @@ __all__ = [
     "fisher_exact",
     "le_cam_bound",
     "log_gamma",
+    "log_gamma_batch",
     "lower_regularized_gamma",
+    "lower_regularized_gamma_batch",
     "poibin_pmf_dftcf",
     "poibin_pmf_dp",
     "poibin_sf",
@@ -63,7 +73,9 @@ __all__ = [
     "poisson_lambda",
     "poisson_pmf",
     "poisson_sf",
+    "poisson_sf_batch",
     "poisson_tail_approx",
+    "poisson_tail_approx_batch",
     "strand_bias_phred",
     "upper_regularized_gamma",
 ]

@@ -20,11 +20,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.stats.poisson import poisson_sf
+from repro.stats.poisson import poisson_sf, poisson_sf_batch
 
 __all__ = [
     "poisson_lambda",
     "poisson_tail_approx",
+    "poisson_tail_approx_batch",
     "le_cam_bound",
     "approximation_is_conclusive",
 ]
@@ -44,6 +45,25 @@ def poisson_tail_approx(k: int, probs: np.ndarray) -> float:
     This is the paper's ``p-hat``: the O(d) first-pass statistic.
     """
     return poisson_sf(k, poisson_lambda(probs))
+
+
+def poisson_tail_approx_batch(
+    ks: np.ndarray, lams: np.ndarray
+) -> np.ndarray:
+    """Vectorised ``p-hat`` for many (column, allele) pairs at once.
+
+    Args:
+        ks: tail points (observed alt counts), one per pair.
+        lams: per-pair ``lambda = sum p_i`` -- computed once per
+            *column* with :func:`poisson_lambda` and broadcast to its
+            alleles by the caller, so the summation matches the
+            streaming path float-for-float.
+
+    Returns:
+        ``P(X >= k)`` under Poisson(lambda), elementwise equivalent to
+        :func:`poisson_tail_approx`.
+    """
+    return poisson_sf_batch(ks, lams)
 
 
 def le_cam_bound(probs: np.ndarray) -> float:

@@ -13,13 +13,22 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.stats.special import (
     log_gamma,
     lower_regularized_gamma,
+    lower_regularized_gamma_batch,
     upper_regularized_gamma,
 )
 
-__all__ = ["poisson_pmf", "poisson_cdf", "poisson_sf", "poisson_log_pmf"]
+__all__ = [
+    "poisson_pmf",
+    "poisson_cdf",
+    "poisson_sf",
+    "poisson_sf_batch",
+    "poisson_log_pmf",
+]
 
 
 def _validate(k: int, lam: float) -> None:
@@ -59,3 +68,32 @@ def poisson_sf(k: int, lam: float) -> float:
     if lam == 0.0:
         return 0.0
     return lower_regularized_gamma(float(k), lam)
+
+
+def poisson_sf_batch(ks: np.ndarray, lams: np.ndarray) -> np.ndarray:
+    """Vectorised ``P(X >= k)`` over parallel ``(k, lambda)`` arrays.
+
+    Elementwise equivalent of :func:`poisson_sf` (inclusive tail, same
+    gamma-function branch structure), evaluated in a handful of masked
+    array sweeps.  This is the kernel behind the batched caller
+    engine's screening stage.
+
+    Raises:
+        ValueError: for any ``k < 0``, ``lambda < 0`` or NaN lambda.
+    """
+    ks = np.asarray(ks, dtype=np.float64)
+    lams = np.asarray(lams, dtype=np.float64)
+    if ks.shape != lams.shape:
+        raise ValueError(f"shape mismatch: k{ks.shape} vs lambda{lams.shape}")
+    if ks.size == 0:
+        return np.empty_like(lams)
+    if np.min(ks) < 0:
+        raise ValueError("k must be >= 0")
+    if np.min(lams) < 0 or np.isnan(lams).any():
+        raise ValueError("lambda must be >= 0")
+    out = np.zeros_like(lams)
+    out[ks == 0] = 1.0
+    general = (ks > 0) & (lams > 0)
+    if general.any():
+        out[general] = lower_regularized_gamma_batch(ks[general], lams[general])
+    return out

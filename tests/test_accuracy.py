@@ -2,11 +2,7 @@
 
 import pytest
 
-from repro.analysis.accuracy import (
-    AccuracyReport,
-    frequency_band_recall,
-    score_calls,
-)
+from repro.analysis.accuracy import frequency_band_recall, score_calls
 from repro.core.caller import VariantCaller
 from repro.core.config import CallerConfig
 from repro.core.results import VariantCall

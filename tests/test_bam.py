@@ -14,7 +14,7 @@ from repro.io.bam import (
     reg2bin,
     write_bam,
 )
-from repro.io.cigar import CigarOp, parse_cigar
+from repro.io.cigar import parse_cigar
 from repro.io.records import AlignedRead, SamHeader
 
 

@@ -126,6 +126,29 @@ class TestCall:
             outs[algo] = {(r.pos, r.ref, r.alt) for r in records}
         assert outs["improved"] == outs["original"]
 
+    def test_engine_option_batched_identical(self, workspace):
+        outs = {}
+        for engine in ("streaming", "batched"):
+            out = workspace / f"calls_{engine}.vcf"
+            rc = main(
+                [
+                    "call", str(workspace / "sample.bam"),
+                    "--reference", str(workspace / "ref.fa"),
+                    "--out", str(out),
+                    "--engine", engine,
+                ]
+            )
+            assert rc == 0
+            outs[engine] = out.read_bytes()
+        assert outs["streaming"] == outs["batched"]
+
+    def test_engine_option_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["call", "in.bam", "--reference", "r.fa", "--out", "o.vcf",
+                 "--engine", "warp"]
+            )
+
     def test_parallel_call(self, workspace):
         from repro.io.vcf import read_vcf
 

@@ -1,7 +1,6 @@
 """End-to-end caller tests: sensitivity, specificity and the paper's
 headline equivalence claim."""
 
-import numpy as np
 import pytest
 
 from repro.core.caller import VariantCaller

@@ -66,11 +66,17 @@ class TestConfig:
             {"bonferroni": 0},
             {"min_af": 1.5},
             {"min_coverage": -1},
+            {"engine": "turbo"},
         ],
     )
     def test_validation(self, kwargs):
         with pytest.raises(ValueError):
             CallerConfig(**kwargs)
+
+    @pytest.mark.parametrize("engine", ["streaming", "batched"])
+    def test_engine_knob_accepted(self, engine):
+        assert CallerConfig(engine=engine).engine == engine
+        assert CallerConfig.improved(engine=engine).engine == engine
 
 
 class TestErrorModel:

@@ -1,6 +1,5 @@
 """Tests for the dynamic filter machinery and the double-filter bug."""
 
-import dataclasses
 
 import pytest
 

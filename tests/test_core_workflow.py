@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.config import CallerConfig
 from repro.core.results import ColumnDecision, RunStats
-from repro.core.workflow import decide_allele, evaluate_column
+from repro.core.workflow import evaluate_column
 from repro.pileup.column import BASE_TO_CODE, PileupColumn
 
 

@@ -1,0 +1,180 @@
+"""Streaming vs batched engine equivalence.
+
+The batched engine's contract (ISSUE: "only false negatives vs. the
+original, byte-for-byte") is that swapping ``engine="batched"`` in
+changes *nothing* observable: identical call records (down to the raw
+p-values), identical VCF bytes, identical :class:`RunStats` decision
+censuses -- across datasets, both ``use_approximation`` settings, the
+depth cap, and the parallel driver.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import CallerConfig, VariantCaller
+from repro.io.vcf import write_vcf
+from repro.parallel import ParallelCallOptions, parallel_call
+from repro.pileup.engine import PileupConfig
+from repro.sim.genome import random_genome, sars_cov_2_like
+from repro.sim.haplotypes import VariantPanel, random_panel
+from repro.sim.reads import ReadSimulator
+
+
+def _dataset(kind):
+    """Three structurally different simulated datasets."""
+    if kind == "shallow":
+        # Below approx_min_depth everywhere: screening never engages.
+        genome = random_genome(900, gc_content=0.45, name="chrS", seed=5)
+        panel = random_panel(genome.sequence, 6, freq_range=(0.05, 0.2), seed=6)
+        sample = ReadSimulator(genome, panel, read_length=80).simulate(
+            depth=60, seed=7
+        )
+    elif kind == "deep":
+        # Deep enough that most tests resolve in the screening pass.
+        genome = sars_cov_2_like(length=600, seed=15)
+        panel = random_panel(
+            genome.sequence, 8, freq_range=(0.02, 0.1), seed=16
+        )
+        sample = ReadSimulator(genome, panel, read_length=100).simulate(
+            depth=1200, seed=17
+        )
+    elif kind == "null":
+        # No true variants: every candidate is sequencing error.
+        genome = random_genome(700, gc_content=0.5, name="chrN", seed=25)
+        sample = ReadSimulator(
+            genome, VariantPanel(), read_length=80
+        ).simulate(depth=400, seed=27)
+    else:  # pragma: no cover - guard against fixture typos
+        raise ValueError(kind)
+    return sample
+
+
+@pytest.fixture(scope="module", params=["shallow", "deep", "null"])
+def dataset(request):
+    return _dataset(request.param)
+
+
+def call_tuple(c):
+    """Every observable field of a VariantCall, for exact comparison."""
+    return dataclasses.astuple(c)
+
+
+def assert_equivalent(streaming, batched):
+    assert [call_tuple(c) for c in streaming.calls] == [
+        call_tuple(c) for c in batched.calls
+    ]
+    s, b = streaming.stats, batched.stats
+    assert s.decisions == b.decisions
+    assert s.columns_seen == b.columns_seen
+    assert s.tests_run == b.tests_run
+    assert s.dp_invocations == b.dp_invocations
+    assert s.dp_steps == b.dp_steps
+    assert s.approx_invocations == b.approx_invocations
+    assert s.exact_skipped == b.exact_skipped
+
+
+@pytest.mark.parametrize("use_approximation", [True, False])
+def test_engines_identical(dataset, use_approximation):
+    streaming = VariantCaller(
+        CallerConfig(use_approximation=use_approximation)
+    ).call_sample(dataset)
+    batched = VariantCaller(
+        CallerConfig(use_approximation=use_approximation, engine="batched")
+    ).call_sample(dataset)
+    assert_equivalent(streaming, batched)
+
+
+@pytest.mark.parametrize("use_approximation", [True, False])
+def test_engines_identical_at_depth_cap(dataset, use_approximation):
+    """With a tight max_depth the columns are capped; both engines must
+    consume the capped columns identically (n_capped is a pileup
+    property, so calls and censuses still match exactly)."""
+    pileup_config = PileupConfig(max_depth=40)
+    streaming = VariantCaller(
+        CallerConfig(use_approximation=use_approximation),
+        pileup_config=pileup_config,
+    ).call_sample(dataset)
+    batched = VariantCaller(
+        CallerConfig(use_approximation=use_approximation, engine="batched"),
+        pileup_config=pileup_config,
+    ).call_sample(dataset)
+    assert_equivalent(streaming, batched)
+    # The cap genuinely engaged somewhere on every dataset (all are
+    # deeper than 40x on average), so this is not a vacuous check.
+    from repro.pileup.vectorized import pileup_sample
+
+    columns = list(pileup_sample(dataset, config=pileup_config))
+    assert any(c.n_capped > 0 for c in columns)
+    assert all(c.depth <= 40 for c in columns)
+
+
+def test_vcf_bytes_identical(tmp_path, dataset):
+    paths = {}
+    for engine in ("streaming", "batched"):
+        result = VariantCaller(
+            CallerConfig(engine=engine)
+        ).call_sample(dataset)
+        path = tmp_path / f"{engine}.vcf"
+        write_vcf(
+            path,
+            [c.to_vcf_record() for c in result.calls],
+            reference=[(dataset.genome.name, len(dataset.genome))],
+        )
+        paths[engine] = path
+    assert paths["streaming"].read_bytes() == paths["batched"].read_bytes()
+
+
+def test_batched_engine_under_parallel_driver():
+    """config.engine dispatches per chunk inside the parallel driver;
+    the merged result must match the streaming parallel run exactly."""
+    dataset = _dataset("deep")
+    results = {}
+    for engine in ("streaming", "batched"):
+        results[engine] = parallel_call(
+            dataset,
+            dataset.genome.sequence,
+            config=CallerConfig(engine=engine),
+            options=ParallelCallOptions(
+                n_workers=2, chunk_columns=128, backend="thread"
+            ),
+        )
+    assert_equivalent(results["streaming"], results["batched"])
+
+
+def test_qual_prob_table_bitwise_identical():
+    """The batched engine's Phred lookup table must reproduce the
+    scalar error model bit-for-bit for every possible uint8 quality --
+    this is what lets table-derived vectors feed the exact DP without
+    perturbing any output."""
+    import numpy as np
+
+    from repro.core.batched import qual_prob_table
+    from repro.core.model import allele_error_probabilities
+    from repro.pileup.column import PileupColumn
+
+    quals = np.arange(256, dtype=np.uint8)
+    n = quals.size
+    column = PileupColumn(
+        chrom="c",
+        pos=0,
+        ref_base="A",
+        base_codes=np.zeros(n, dtype=np.uint8),
+        quals=quals,
+        reverse=np.zeros(n, dtype=bool),
+        mapqs=np.full(n, 60, dtype=np.uint8),
+    )
+    table = qual_prob_table()
+    assert np.array_equal(table[quals], allele_error_probabilities(column))
+    assert not table.flags.writeable
+
+
+def test_batched_skips_most_tests_when_deep():
+    """Sanity: on the deep dataset the screening pass does the bulk of
+    the work (the paper's whole point), so the equivalence above is
+    exercising the vectorised skip path, not an empty batch."""
+    result = VariantCaller(
+        CallerConfig(engine="batched")
+    ).call_sample(_dataset("deep"))
+    assert result.stats.skip_fraction() > 0.5
+    assert result.stats.exact_skipped > 100

@@ -1,6 +1,5 @@
 """Unit tests for the linear BAM index."""
 
-import numpy as np
 import pytest
 
 from repro.io.bam import BamReader, write_bam

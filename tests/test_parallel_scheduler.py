@@ -69,6 +69,11 @@ class TestStatic:
 
 
 class TestDynamic:
+    @pytest.mark.parametrize("n_workers", [0, -1])
+    def test_rejects_nonpositive_workers(self, n_workers):
+        with pytest.raises(ValueError):
+            DynamicScheduler([1, 2, 3], n_workers)
+
     def test_every_item_exactly_once(self):
         items = list(range(100))
         sched = DynamicScheduler(items, 4)

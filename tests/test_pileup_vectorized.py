@@ -85,6 +85,69 @@ class TestDirect:
         )
         assert cols == []
 
+    def _one_read(self):
+        starts = np.array([0], dtype=np.int64)
+        codes = np.zeros((1, 2), dtype=np.uint8)
+        quals = np.full((1, 2), 30, dtype=np.uint8)
+        rev = np.array([False])
+        return starts, codes, quals, rev
+
+    def test_mapq_above_255_passes_filter_and_saturates(self):
+        """A mapq above the uint8 ceiling must still be compared raw
+        against min_mapq (300 > 260 passes) and only saturate to 255 in
+        the stored column arrays."""
+        starts, codes, quals, rev = self._one_read()
+        cols = list(
+            pileup_from_arrays(
+                starts, codes, quals, rev, "TT", Region("c", 0, 2),
+                PileupConfig(min_mapq=260), mapq=300,
+            )
+        )
+        assert [c.pos for c in cols] == [0, 1]
+        assert all(int(c.mapqs[0]) == 255 for c in cols)
+
+    def test_mapq_above_255_below_threshold_drops(self):
+        starts, codes, quals, rev = self._one_read()
+        cols = list(
+            pileup_from_arrays(
+                starts, codes, quals, rev, "TT", Region("c", 0, 2),
+                PileupConfig(min_mapq=400), mapq=300,
+            )
+        )
+        assert cols == []
+
+    def test_negative_mapq_raises(self):
+        starts, codes, quals, rev = self._one_read()
+        with pytest.raises(ValueError, match="mapq"):
+            list(
+                pileup_from_arrays(
+                    starts, codes, quals, rev, "TT", Region("c", 0, 2),
+                    mapq=-1,
+                )
+            )
+
+    def test_flag_filters_documented_as_inapplicable(self):
+        """Matrix input has no SAM flags: toggling the flag-based
+        filters must not change the pileup."""
+        starts, codes, quals, rev = self._one_read()
+        base = list(
+            pileup_from_arrays(
+                starts, codes, quals, rev, "TT", Region("c", 0, 2),
+                PileupConfig(),
+            )
+        )
+        toggled = list(
+            pileup_from_arrays(
+                starts, codes, quals, rev, "TT", Region("c", 0, 2),
+                PileupConfig(
+                    include_duplicates=True,
+                    include_secondary=True,
+                    include_qcfail=True,
+                ),
+            )
+        )
+        assert [c.depth for c in base] == [c.depth for c in toggled]
+
     def test_inconsistent_shapes_raise(self):
         with pytest.raises(ValueError, match="consistent"):
             list(

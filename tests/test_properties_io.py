@@ -4,13 +4,12 @@ must be the identity on arbitrary inputs."""
 import io
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.io.bam import decode_record, encode_record
 from repro.io.bgzf import BgzfReader, BgzfWriter
-from repro.io.cigar import CigarOp, cigar_to_string, parse_cigar, query_length
+from repro.io.cigar import CigarOp, cigar_to_string, parse_cigar
 from repro.io.fastq import ascii_to_phred, phred_to_ascii
 from repro.io.records import AlignedRead, SamHeader
 from repro.io.sam import format_record, parse_record

@@ -3,7 +3,6 @@ property under randomised columns, pileup conservation laws, and cache
 model sanity."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

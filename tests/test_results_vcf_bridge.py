@@ -1,6 +1,5 @@
 """Tests for the VariantCall <-> VCF bridge and CallResult algebra."""
 
-import math
 
 import pytest
 

@@ -54,7 +54,7 @@ class TestStructure:
         unique = {}
         for label, keys in key_sets.items():
             others = set().union(
-                *(k for l, k in key_sets.items() if l != label)
+                *(k for lbl, k in key_sets.items() if lbl != label)
             )
             unique[label] = len(keys - others)
         assert max(unique, key=unique.get) == "100000x"

@@ -1,6 +1,5 @@
 """Tests for the genome generator and variant panels."""
 
-import numpy as np
 import pytest
 
 from repro.sim.genome import SARS_COV_2_LENGTH, random_genome, sars_cov_2_like

@@ -8,7 +8,7 @@ import pytest
 from repro.io.regions import Region
 from repro.pileup.vectorized import pileup_sample
 from repro.sim.genome import random_genome
-from repro.sim.haplotypes import VariantPanel, VariantSpec, random_panel
+from repro.sim.haplotypes import VariantPanel, VariantSpec
 from repro.sim.quality import QualityModel
 from repro.sim.reads import ReadSimulator, decode_row, encode_sequence
 

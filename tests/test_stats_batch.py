@@ -1,0 +1,136 @@
+"""Tests for the vectorised (batch) statistics kernels."""
+
+import numpy as np
+import pytest
+
+from repro.stats.approximation import (
+    poisson_lambda,
+    poisson_tail_approx,
+    poisson_tail_approx_batch,
+)
+from repro.stats.poisson import poisson_sf, poisson_sf_batch
+from repro.stats.special import (
+    log_gamma,
+    log_gamma_batch,
+    lower_regularized_gamma,
+    lower_regularized_gamma_batch,
+)
+
+
+class TestLogGammaBatch:
+    def test_matches_scalar(self):
+        xs = np.array([0.5, 1.0, 2.5, 7.0, 100.0, 1e6])
+        batch = log_gamma_batch(xs)
+        scalar = np.array([log_gamma(float(x)) for x in xs])
+        assert np.allclose(batch, scalar, rtol=1e-13, atol=0)
+
+    def test_rejects_reflection_region(self):
+        with pytest.raises(ValueError):
+            log_gamma_batch(np.array([0.25, 1.0]))
+
+    def test_empty(self):
+        assert log_gamma_batch(np.array([])).shape == (0,)
+
+
+class TestLowerRegularizedGammaBatch:
+    def test_matches_scalar_both_branches(self):
+        rng = np.random.default_rng(3)
+        a = rng.uniform(0.5, 50.0, size=500)
+        # Half below the series/fraction split, half above it.
+        x = np.where(
+            rng.random(500) < 0.5,
+            rng.uniform(0.0, 1.0, size=500) * (a + 1.0),
+            (a + 1.0) + rng.uniform(0.0, 50.0, size=500),
+        )
+        batch = lower_regularized_gamma_batch(a, x)
+        scalar = np.array(
+            [lower_regularized_gamma(float(ai), float(xi)) for ai, xi in zip(a, x)]
+        )
+        np.testing.assert_allclose(batch, scalar, rtol=1e-12, atol=1e-300)
+
+    def test_mostly_bitwise_identical_to_scalar(self):
+        """The batch kernel replays the scalar iteration elementwise;
+        the overwhelming majority of lanes must agree bit-for-bit (the
+        rest only in the last ulp -- the engine's guard band exists for
+        those)."""
+        rng = np.random.default_rng(4)
+        a = rng.integers(1, 200, size=2000).astype(np.float64)
+        x = rng.uniform(0.0, 250.0, size=2000)
+        batch = lower_regularized_gamma_batch(a, x)
+        scalar = np.array(
+            [lower_regularized_gamma(float(ai), float(xi)) for ai, xi in zip(a, x)]
+        )
+        assert np.mean(batch == scalar) > 0.9
+        assert np.max(np.abs(batch - scalar)) < 1e-13
+
+    def test_x_zero(self):
+        out = lower_regularized_gamma_batch(
+            np.array([1.0, 5.0]), np.array([0.0, 0.0])
+        )
+        assert np.array_equal(out, np.zeros(2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lower_regularized_gamma_batch(np.array([1.0]), np.array([-1.0]))
+        with pytest.raises(ValueError):
+            lower_regularized_gamma_batch(np.array([0.1]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            lower_regularized_gamma_batch(np.array([1.0, 2.0]), np.array([1.0]))
+
+
+class TestPoissonSfBatch:
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(5)
+        ks = rng.integers(0, 100, size=1000).astype(np.float64)
+        lams = rng.uniform(0.0, 60.0, size=1000)
+        lams[::11] = 0.0
+        batch = poisson_sf_batch(ks, lams)
+        scalar = np.array(
+            [poisson_sf(int(k), float(lam)) for k, lam in zip(ks, lams)]
+        )
+        np.testing.assert_allclose(batch, scalar, rtol=1e-12, atol=0)
+
+    def test_edge_cases(self):
+        ks = np.array([0.0, 0.0, 3.0])
+        lams = np.array([0.0, 2.0, 0.0])
+        assert np.array_equal(poisson_sf_batch(ks, lams), [1.0, 1.0, 0.0])
+
+    def test_empty(self):
+        assert poisson_sf_batch(np.array([]), np.array([])).shape == (0,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_sf_batch(np.array([-1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            poisson_sf_batch(np.array([1.0]), np.array([-1.0]))
+        with pytest.raises(ValueError):
+            poisson_sf_batch(np.array([1.0]), np.array([np.nan]))
+
+    def test_monotone_in_k_and_lambda(self):
+        lam = np.full(30, 7.5)
+        ks = np.arange(1.0, 31.0)
+        tails = poisson_sf_batch(ks, lam)
+        assert np.all(np.diff(tails) <= 0)
+        lams = np.linspace(0.5, 40.0, 30)
+        tails = poisson_sf_batch(np.full(30, 10.0), lams)
+        assert np.all(np.diff(tails) >= 0)
+
+
+class TestPoissonTailApproxBatch:
+    def test_matches_per_allele_scalar_path(self):
+        """The batched screen computes lambda once per column and
+        broadcasts it; the result must equal the streaming path that
+        re-derives lambda from the probability vector per allele."""
+        rng = np.random.default_rng(6)
+        ks, lams, scalars = [], [], []
+        for _ in range(50):
+            depth = int(rng.integers(100, 3000))
+            quals = rng.uniform(15, 40, size=depth)
+            probs = (10.0 ** (-quals / 10.0)) / 3.0
+            lam = poisson_lambda(probs)
+            for k in rng.integers(1, 40, size=3):
+                ks.append(float(k))
+                lams.append(lam)
+                scalars.append(poisson_tail_approx(int(k), probs))
+        batch = poisson_tail_approx_batch(np.array(ks), np.array(lams))
+        np.testing.assert_allclose(batch, np.array(scalars), rtol=1e-12)
