@@ -32,7 +32,7 @@ from repro.stats.approximation import (
     poisson_tail_approx_batch,
 )
 
-from conftest import FAST, write_report
+from conftest import FAST, write_report, write_stats_report
 
 
 @pytest.fixture(scope="module")
@@ -220,3 +220,11 @@ def test_engine_end_to_end(benchmark, table1_workload):
         )
         assert identical, f"engines diverged at depth {depth}"
     write_report("batched_end_to_end.txt", "\n".join(lines))
+    write_stats_report(
+        "batched_end_to_end_stats.json",
+        {
+            f"depth{depth}/{engine}": res.stats
+            for depth, _, _, streaming, batched in rows
+            for engine, res in (("streaming", streaming), ("batched", batched))
+        },
+    )

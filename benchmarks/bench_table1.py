@@ -29,7 +29,7 @@ import pytest
 from repro.core.caller import VariantCaller
 from repro.core.config import CallerConfig
 
-from conftest import FAST, write_report
+from conftest import FAST, write_report, write_stats_report
 
 
 def _call(sample, config):
@@ -127,3 +127,21 @@ def test_table1_report(benchmark, table1_workload):
         assert max(speedups[2:]) > 1.8, "deep regime should show a speed-up"
         assert speedups[-1] == max(speedups) or speedups[-2] == max(speedups)
     write_report("table1.txt", "\n".join(lines))
+    write_stats_report(
+        "table1_stats.json",
+        {
+            f"depth{depth}/{version}": res.stats
+            for depth, _, _, _, orig, new, bat in rows
+            for version, res in (
+                ("original", orig),
+                ("improved", new),
+                ("improved-batched", bat),
+            )
+        },
+        extra={
+            "speedups": {
+                f"depth{depth}": t_orig / t_new if t_new > 0 else None
+                for depth, t_orig, t_new, _, _, _, _ in rows
+            }
+        },
+    )

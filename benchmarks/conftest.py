@@ -10,6 +10,7 @@ Set ``REPRO_BENCH_FAST=1`` to shrink workloads ~4x for smoke runs.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -26,6 +27,29 @@ def write_report(name: str, text: str) -> None:
     path = OUT_DIR / name
     path.write_text(text)
     print(f"\n[report written to {path}]\n{text}")
+
+
+def write_stats_report(name: str, stats_by_key, extra: dict | None = None) -> None:
+    """Persist run statistics machine-readably (``RunStats.to_dict``).
+
+    Args:
+        name: report filename (conventionally ``*.json``).
+        stats_by_key: mapping of label -> :class:`repro.core.RunStats`
+            (or an already-serialised dict).
+        extra: additional top-level keys (workload shape, timings).
+    """
+    OUT_DIR.mkdir(exist_ok=True)
+    payload = {
+        "stats": {
+            str(key): s.to_dict() if hasattr(s, "to_dict") else s
+            for key, s in stats_by_key.items()
+        }
+    }
+    if extra:
+        payload.update(extra)
+    path = OUT_DIR / name
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n[stats written to {path}]")
 
 
 @pytest.fixture(scope="session")

@@ -14,12 +14,20 @@ import sys
 import tempfile
 import time
 
-from repro import CallerConfig, ReadSimulator, random_panel, sars_cov_2_like
+from repro import (
+    BamSource,
+    CallerConfig,
+    ExecutionPolicy,
+    Pipeline,
+    ReadSimulator,
+    VcfSink,
+    random_panel,
+    sars_cov_2_like,
+)
 from repro.io.bam import BamReader
 from repro.io.fasta import load_reference, write_fasta
 from repro.io.linear_index import build_index
-from repro.io.vcf import read_vcf, write_vcf
-from repro.parallel import ParallelCallOptions, parallel_call
+from repro.io.vcf import read_vcf
 
 
 def main() -> None:
@@ -58,24 +66,22 @@ def main() -> None:
             print(f"  {record.qname} {record.rname}:{record.pos + 1} "
                   f"{record.cigar_string} mapq={record.mapq}")
 
-    # Parallel call straight off the file (independent reader/worker).
-    reference = load_reference(ref_path)[genome.name]
+    # Parallel call straight off the file (independent reader/worker):
+    # source -> engine -> sink, with the VCF streamed as calls finish.
+    source = BamSource(bam_path, load_reference(ref_path))
     t0 = time.perf_counter()
-    result = parallel_call(
-        str(bam_path),
-        reference,
+    result = Pipeline(
+        source,
         config=CallerConfig.improved(),
-        options=ParallelCallOptions(n_workers=4, schedule="dynamic"),
-    )
-    print(f"\nparallel call: {len(result.passed)} PASS calls in "
+        policy=ExecutionPolicy(
+            mode="thread", n_workers=4, chunk_columns=256, schedule="dynamic"
+        ),
+        sinks=[VcfSink(vcf_path, contigs=source.contigs)],
+    ).run()
+    print(f"\npipeline call: {len(result.passed)} PASS calls in "
           f"{time.perf_counter() - t0:.2f}s with 4 workers")
 
-    # VCF out, then read it back.
-    write_vcf(
-        vcf_path,
-        [c.to_vcf_record() for c in result.calls],
-        reference=[(genome.name, len(genome))],
-    )
+    # Read the sink's VCF back.
     _, records = read_vcf(vcf_path)
     truth = {(v.pos, v.ref, v.alt) for v in panel}
     called = {(r.pos, r.ref, r.alt) for r in records if r.filter == "PASS"}

@@ -11,13 +11,14 @@ Poisson-binomial statistics, a cache simulator and trace profiling).
 
 Quickstart::
 
-    from repro import (CallerConfig, VariantCaller, sars_cov_2_like,
-                       random_panel, ReadSimulator)
+    from repro import (CallerConfig, Pipeline, SampleSource,
+                       sars_cov_2_like, random_panel, ReadSimulator)
 
     genome = sars_cov_2_like(length=2000)
     panel = random_panel(genome.sequence, 10, seed=7)
     sample = ReadSimulator(genome, panel).simulate(depth=500, seed=7)
-    result = VariantCaller(CallerConfig.improved()).call_sample(sample)
+    result = Pipeline(SampleSource(sample),
+                      config=CallerConfig.improved()).run()
     for call in result.passed:
         print(call.pos, call.ref, call.alt, f"AF={call.af:.4f}")
 """
@@ -33,6 +34,18 @@ from repro.core import (
 )
 from repro.io.regions import Region
 from repro.pileup import PileupColumn, PileupConfig, pileup
+from repro.pipeline import (
+    BamSource,
+    ColumnsSource,
+    ExecutionPolicy,
+    JsonlSink,
+    Pipeline,
+    ReadsSource,
+    SampleSource,
+    StatsSink,
+    TeeSink,
+    VcfSink,
+)
 from repro.sim import (
     QualityModel,
     ReadSimulator,
@@ -48,21 +61,31 @@ from repro.sim import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BamSource",
     "CallResult",
     "CallerConfig",
     "ColumnDecision",
+    "ColumnsSource",
     "DynamicFilterPolicy",
+    "ExecutionPolicy",
+    "JsonlSink",
+    "Pipeline",
     "PileupColumn",
     "PileupConfig",
     "QualityModel",
     "ReadSimulator",
+    "ReadsSource",
     "Region",
     "RunStats",
+    "SampleSource",
     "SimulatedSample",
+    "StatsSink",
+    "TeeSink",
     "VariantCall",
     "VariantCaller",
     "VariantPanel",
     "VariantSpec",
+    "VcfSink",
     "__version__",
     "paper_dataset_suite",
     "pileup",

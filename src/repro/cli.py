@@ -6,7 +6,10 @@ Subcommands mirror the original tool-chain:
   + ground-truth VCF).
 * ``call`` -- call variants on a BAM (original or improved algorithm,
   serial, OpenMP-style parallel, or the legacy buggy parallel mode
-  for demonstration).
+  for demonstration); ``--all-contigs`` covers every reference of a
+  multi-contig BAM, ``--output-format {vcf,jsonl}`` picks the output
+  dialect and ``--stats-json`` emits machine-readable run stats.  The
+  subcommand is a thin adapter over :mod:`repro.pipeline`.
 * ``compare`` -- concordance report between two VCFs.
 * ``upset`` -- ASCII upset plot across any number of VCFs (Figure 3).
 
@@ -52,7 +55,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_call = sub.add_parser("call", help="call variants on a BAM")
     p_call.add_argument("bam")
     p_call.add_argument("--reference", required=True, help="FASTA reference")
-    p_call.add_argument("--out", required=True, help="output VCF")
+    p_call.add_argument("--out", required=True, help="output file")
+    p_call.add_argument(
+        "--output-format",
+        choices=["vcf", "jsonl"],
+        default="vcf",
+        help="format of --out: VCF 4.2 or one JSON object per call",
+    )
+    p_call.add_argument(
+        "--all-contigs",
+        action="store_true",
+        help="call every reference in the BAM header (default: only "
+        "the first, unless --region names another)",
+    )
+    p_call.add_argument(
+        "--stats-json",
+        default=None,
+        metavar="PATH",
+        help="also write machine-readable run stats as JSON",
+    )
     p_call.add_argument(
         "--algorithm",
         choices=["improved", "original"],
@@ -143,26 +164,64 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_call_regions(args, references, header_refs):
+    """Work out which regions to call and which contigs label the
+    output header.  Returns ``(regions, contigs)`` or an error string.
+    """
+    from repro.io.regions import Region, parse_region
+
+    lengths = dict(header_refs)
+    if args.region and args.all_contigs:
+        return "--all-contigs and --region are mutually exclusive"
+    if args.region:
+        # Resolve the contig from the requested region, not from the
+        # header's first reference -- a FASTA covering only the named
+        # contig is enough.
+        chrom = args.region.strip().split(":", 1)[0]
+        if chrom not in lengths:
+            return f"region contig {chrom!r} not in the BAM header"
+        if chrom not in references:
+            return f"region contig {chrom!r} not in {args.reference}"
+        try:
+            region = parse_region(args.region, reference_length=lengths[chrom])
+        except ValueError as exc:
+            return str(exc)
+        return [region], [(chrom, lengths[chrom])]
+    if args.all_contigs:
+        missing = [n for n, _ in header_refs if n not in references]
+        if missing:
+            return (
+                f"BAM references {missing!r} not in {args.reference}"
+            )
+        regions = [Region(n, 0, length) for n, length in header_refs]
+        return regions, list(header_refs)
+    name, length = header_refs[0]
+    if name not in references:
+        return f"BAM reference {name!r} not in {args.reference}"
+    return [Region(name, 0, length)], [(name, length)]
+
+
 def _cmd_call(args: argparse.Namespace) -> int:
-    from repro.core import CallerConfig, VariantCaller
-    from repro.io.fasta import load_reference
-    from repro.io.regions import parse_region
-    from repro.io.vcf import write_vcf
+    from repro.core import CallerConfig
     from repro.io.bam import BamReader
-    from repro.parallel import ParallelCallOptions, parallel_call
+    from repro.io.fasta import load_reference
+    from repro.pipeline import (
+        BamSource,
+        ExecutionPolicy,
+        JsonlSink,
+        Pipeline,
+        StatsSink,
+        VcfSink,
+    )
 
     references = load_reference(args.reference)
     with BamReader(args.bam) as reader:
-        name, length = reader.header.references[0]
-    if name not in references:
-        print(f"error: BAM reference {name!r} not in {args.reference}", file=sys.stderr)
+        header_refs = list(reader.header.references)
+    resolved = _resolve_call_regions(args, references, header_refs)
+    if isinstance(resolved, str):
+        print(f"error: {resolved}", file=sys.stderr)
         return 2
-    reference = references[name]
-    region = (
-        parse_region(args.region, reference_length=length)
-        if args.region
-        else None
-    )
+    regions, contigs = resolved
     kwargs = dict(
         alpha=args.alpha,
         approx_margin=args.margin,
@@ -175,34 +234,33 @@ def _cmd_call(args: argparse.Namespace) -> int:
         if args.algorithm == "improved"
         else CallerConfig.original(**kwargs)
     )
-    t0 = time.perf_counter()
     if args.legacy_parallel:
         print(
             "warning: --legacy-parallel reproduces the double-filtering "
             "bug on purpose; output depends on --workers",
             file=sys.stderr,
         )
-        result = _legacy_call_bam(
-            args.bam, reference, region, config, max(1, args.workers)
-        )
+        policy = ExecutionPolicy(mode="legacy", n_workers=max(1, args.workers))
     elif args.workers <= 1:
-        caller = VariantCaller(config)
-        result = caller.call_bam(args.bam, reference, region)
+        policy = ExecutionPolicy(mode="serial")
     else:
-        result = parallel_call(
-            args.bam,
-            reference,
-            region,
-            config=config,
-            options=ParallelCallOptions(
-                n_workers=args.workers,
-                schedule=args.schedule,
-                backend=args.backend,
-            ),
+        serial = args.backend == "serial"
+        policy = ExecutionPolicy(
+            mode="serial" if serial else args.backend,
+            n_workers=1 if serial else args.workers,
+            chunk_columns=256,
+            schedule=args.schedule,
         )
+    if args.output_format == "jsonl":
+        sinks = [JsonlSink(args.out)]
+    else:
+        sinks = [VcfSink(args.out, contigs=contigs)]
+    if args.stats_json:
+        sinks.append(StatsSink(args.stats_json))
+    source = BamSource(args.bam, references, regions=regions)
+    t0 = time.perf_counter()
+    result = Pipeline(source, config=config, policy=policy, sinks=sinks).run()
     elapsed = time.perf_counter() - t0
-    records = [c.to_vcf_record() for c in result.calls]
-    write_vcf(args.out, records, reference=[(name, length)])
     print(
         f"{len(result.passed)} PASS calls ({len(result.calls)} total) "
         f"in {elapsed:.2f}s -> {args.out}"
@@ -217,37 +275,6 @@ def _cmd_call(args: argparse.Namespace) -> int:
         for k, v in sorted(s.decisions.items()):
             print(f"  decision {k:<22}: {v}")
     return 0
-
-
-def _legacy_call_bam(bam_path, reference, region, config, n_partitions):
-    """Run the legacy wrapper pipeline over a BAM file by streaming it
-    through the pileup per partition (demonstration path)."""
-    from repro.core.caller import VariantCaller
-    from repro.core.filters import DynamicFilterPolicy, apply_filters
-    from repro.core.results import CallResult, RunStats
-    from repro.io.bam import BamReader
-    from repro.io.regions import Region
-    from repro.parallel.partition import partition_region
-
-    policy = DynamicFilterPolicy()
-    if region is None:
-        with BamReader(bam_path) as reader:
-            name, length = reader.header.references[0]
-        region = Region(name, 0, length)
-    partitions = partition_region(region, n_partitions)
-    merged_stats = RunStats()
-    survivors = []
-    for part in partitions:
-        caller = VariantCaller(config, filter_policy=None)
-        result = caller.call_bam(
-            bam_path, reference, part, apply_filters=False
-        )
-        merged_stats.merge(result.stats)
-        filtered = apply_filters(result.calls, policy.fit(result.calls))
-        survivors.extend(c for c in filtered if c.filter == "PASS")
-    survivors.sort(key=lambda c: (c.chrom, c.pos, c.alt))
-    final = apply_filters(survivors, policy.fit(survivors))
-    return CallResult(calls=final, stats=merged_stats)
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:

@@ -1,19 +1,22 @@
 """The variant caller: LoFreq's column loop with the paper's shortcut.
 
 :class:`VariantCaller` drives the Figure 1b workflow over a stream of
-pileup columns, from whichever substrate provides them:
+pileup columns.  :meth:`call_columns` is the core per-unit evaluator
+the pipeline engine (:mod:`repro.pipeline`) schedules; the historical
+substrate entry points remain as thin adapters over that pipeline:
 
-* :meth:`call_columns` -- pre-built columns (the parallel runtime and
-  unit tests feed this directly);
-* :meth:`call_reads` -- coordinate-sorted reads through the streaming
-  pileup engine;
+* :meth:`call_reads` -- coordinate-sorted reads (now
+  ``Pipeline(ReadsSource(...))``);
 * :meth:`call_sample` -- a simulated sample through the vectorised
-  pileup (the benchmark path);
-* :meth:`call_bam` -- a BAM file on disk.
+  pileup (now ``Pipeline(SampleSource(...))``);
+* :meth:`call_bam` -- a BAM file on disk (now
+  ``Pipeline(BamSource(...))``; with no explicit region it calls
+  **every** contig in the header, not just the first).
 
 The caller itself is deliberately single-threaded; parallel operation
-is the job of :mod:`repro.parallel`, mirroring the paper's separation
-of the algorithm from its OpenMP driver.
+is the job of the pipeline's :class:`~repro.pipeline.ExecutionPolicy`,
+mirroring the paper's separation of the algorithm from its OpenMP
+driver.
 """
 
 from __future__ import annotations
@@ -30,7 +33,7 @@ from repro.core.workflow import evaluate_column
 from repro.io.records import AlignedRead
 from repro.io.regions import Region
 from repro.pileup.column import PileupColumn
-from repro.pileup.engine import PileupConfig, pileup
+from repro.pileup.engine import PileupConfig
 
 __all__ = ["VariantCaller"]
 
@@ -75,8 +78,8 @@ class VariantCaller:
             region_length: Bonferroni scope -- the number of reference
                 positions this run is responsible for.
             apply_filters: run the post-call filter stage (disable when
-                a parallel driver will filter the merged set once, the
-                paper's OpenMP fix).
+                the pipeline driver will filter the merged set once,
+                the paper's OpenMP fix).
 
         The engine is picked by ``config.engine``: ``"streaming"``
         walks the columns one allele at a time; ``"batched"`` screens
@@ -122,13 +125,24 @@ class VariantCaller:
         return result
 
     def finalise(self, result: CallResult) -> CallResult:
-        """Apply the (single-stage) post-call filter to a result."""
+        """Apply the (single-stage) post-call filter to a result.
+
+        Returns a **new** :class:`CallResult` with re-labelled call
+        copies; ``result`` and its call list are left untouched, so
+        callers holding the pre-filter result keep an uncorrupted
+        view.  The run statistics object is shared, not copied.
+        """
         if self.filter_policy is None:
             return result
-        result.calls = filter_once(result.calls, self.filter_policy)
-        return result
+        return CallResult(
+            calls=filter_once(result.calls, self.filter_policy),
+            stats=result.stats,
+        )
 
-    # -- substrate adapters ----------------------------------------------------
+    # -- substrate adapters (deprecated shims over repro.pipeline) -----------
+
+    def _effective_policy(self, apply_filters: bool):
+        return self.filter_policy if apply_filters else None
 
     def call_reads(
         self,
@@ -138,11 +152,21 @@ class VariantCaller:
         *,
         apply_filters: bool = True,
     ) -> CallResult:
-        """Call over coordinate-sorted reads via the streaming pileup."""
-        columns = pileup(reads, reference, region, self.pileup_config)
-        return self.call_columns(
-            columns, len(region), apply_filters=apply_filters
+        """Call over coordinate-sorted reads via the streaming pileup.
+
+        .. deprecated:: prefer ``Pipeline(ReadsSource(...)).run()``
+           (:mod:`repro.pipeline`); this shim remains equivalent.
+        """
+        from repro.pipeline import Pipeline, ReadsSource
+
+        source = ReadsSource(
+            reads, reference, region, pileup_config=self.pileup_config
         )
+        return Pipeline(
+            source,
+            config=self.config,
+            filter_policy=self._effective_policy(apply_filters),
+        ).run()
 
     def call_sample(
         self,
@@ -152,34 +176,50 @@ class VariantCaller:
         apply_filters: bool = True,
     ) -> CallResult:
         """Call a :class:`~repro.sim.reads.SimulatedSample` via the
-        vectorised pileup (the benchmark fast path)."""
-        from repro.pileup.vectorized import pileup_sample
+        vectorised pileup (the benchmark fast path).
 
-        if region is None:
-            region = Region(sample.genome.name, 0, len(sample.genome))
-        columns = pileup_sample(sample, region, self.pileup_config)
-        return self.call_columns(
-            columns, len(region), apply_filters=apply_filters
+        .. deprecated:: prefer ``Pipeline(SampleSource(...)).run()``
+           (:mod:`repro.pipeline`); this shim remains equivalent.
+        """
+        from repro.pipeline import Pipeline, SampleSource
+
+        source = SampleSource(
+            sample, region=region, pileup_config=self.pileup_config
         )
+        return Pipeline(
+            source,
+            config=self.config,
+            filter_policy=self._effective_policy(apply_filters),
+        ).run()
 
     def call_bam(
         self,
         bam_path,
-        reference: str,
+        reference,
         region: Optional[Region] = None,
         *,
         apply_filters: bool = True,
     ) -> CallResult:
-        """Call over a BAM file on disk."""
-        from repro.io.bam import BamReader
+        """Call over a BAM file on disk.
 
-        with BamReader(bam_path) as reader:
-            if region is None:
-                name, length = reader.header.references[0]
-                region = Region(name, 0, length)
-            columns = pileup(
-                iter(reader), reference, region, self.pileup_config
-            )
-            return self.call_columns(
-                columns, len(region), apply_filters=apply_filters
-            )
+        ``reference`` is one sequence string (single-contig BAMs) or a
+        ``{name: sequence}`` mapping.  With ``region=None`` every
+        contig in the header is called (single-contig inputs behave
+        exactly as before).
+
+        .. deprecated:: prefer ``Pipeline(BamSource(...)).run()``
+           (:mod:`repro.pipeline`); this shim remains equivalent.
+        """
+        from repro.pipeline import BamSource, Pipeline
+
+        source = BamSource(
+            bam_path,
+            reference,
+            regions=[region] if region is not None else None,
+            pileup_config=self.pileup_config,
+        )
+        return Pipeline(
+            source,
+            config=self.config,
+            filter_policy=self._effective_policy(apply_filters),
+        ).run()

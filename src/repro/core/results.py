@@ -136,6 +136,29 @@ class RunStats:
             return 0.0
         return self.exact_skipped / self.tests_run
 
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable snapshot of every counter.
+
+        Values are coerced to plain ``int``/``float`` so the result is
+        directly ``json.dump``-able (counters may arrive as numpy
+        scalars from the batched engine).  Consumed by the pipeline's
+        ``StatsSink``, the CLI's ``--stats-json`` and the benchmark
+        report files.
+        """
+        return {
+            "columns_seen": int(self.columns_seen),
+            "tests_run": int(self.tests_run),
+            "decisions": {k: int(v) for k, v in sorted(self.decisions.items())},
+            "dp_steps": int(self.dp_steps),
+            "dp_invocations": int(self.dp_invocations),
+            "approx_invocations": int(self.approx_invocations),
+            "exact_skipped": int(self.exact_skipped),
+            "skip_fraction": float(self.skip_fraction()),
+            "time_pileup": float(self.time_pileup),
+            "time_stats": float(self.time_stats),
+            "time_total": float(self.time_total),
+        }
+
 
 @dataclasses.dataclass
 class CallResult:

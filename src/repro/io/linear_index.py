@@ -5,9 +5,11 @@ scanning; the parallel runtime needs the same capability so each
 worker thread can seek its own :class:`~repro.io.bam.BamReader`
 straight to its chunk ("an independent .bam file reader for each
 thread", paper Section II-B).  The full binning scheme is unnecessary
-for the single short contig this pipeline targets, so the index is
-linear: every ``granularity``-th record contributes a
-``(position, virtual offset, read end)`` checkpoint.
+for the short contigs this pipeline targets, so the index is linear:
+every ``granularity``-th record contributes a
+``(position, virtual offset, read end)`` checkpoint.  Multi-contig
+BAMs get one such index per contig (:func:`build_multi_index`, which
+:func:`build_index` is a single-contig convenience over).
 
 The sidecar file format is a small binary table (magic, granularity,
 max read span, then packed int64 triples).
@@ -17,11 +19,11 @@ from __future__ import annotations
 
 import dataclasses
 import struct
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.io.bam import BamReader
 
-__all__ = ["LinearIndex", "build_index"]
+__all__ = ["LinearIndex", "build_index", "build_multi_index"]
 
 _MAGIC = b"RLI1"
 
@@ -93,41 +95,111 @@ class LinearIndex:
 
 
 def build_index(bam_path, granularity: int = 256) -> LinearIndex:
-    """Scan a BAM once and build its linear index.
+    """Scan a BAM once and build its flat (single-contig) linear index.
 
     Args:
-        bam_path: coordinate-sorted BAM file.
+        bam_path: coordinate-sorted BAM file whose records all sit on
+            one contig.
         granularity: records between checkpoints (smaller = bigger
             index, finer seeks).
 
     Raises:
-        ValueError: if the BAM is not coordinate-sorted.
+        ValueError: if the BAM is not coordinate-sorted, or its records
+            span more than one contig (use :func:`build_multi_index`).
+    """
+    indexes = build_multi_index(bam_path, granularity)
+    if len(indexes) > 1:
+        raise ValueError(
+            f"BAM has records on {len(indexes)} contigs "
+            f"({sorted(indexes)}); use build_multi_index"
+        )
+    if indexes:
+        (index,) = indexes.values()
+        return index
+    with BamReader(bam_path) as reader:
+        return LinearIndex(
+            checkpoints=[], max_read_span=1, data_start=reader.tell()
+        )
+
+
+class _ContigIndexBuilder:
+    __slots__ = ("checkpoints", "max_span", "n_records", "data_start")
+
+    def __init__(self, data_start: int) -> None:
+        self.checkpoints: List[Tuple[int, int]] = []
+        self.max_span = 1
+        self.n_records = 0
+        self.data_start = data_start
+
+
+def build_multi_index(
+    bam_path, granularity: int = 256
+) -> Dict[str, LinearIndex]:
+    """Scan a BAM once and build one linear index per contig.
+
+    A coordinate-sorted multi-contig BAM restarts positions at every
+    contig, so a single flat checkpoint table cannot cover it; instead
+    each contig gets its own :class:`LinearIndex` whose ``data_start``
+    is the virtual offset of that contig's first record.  Contigs with
+    no records are simply absent from the result.
+
+    Args:
+        bam_path: coordinate-sorted BAM file.
+        granularity: records between checkpoints, per contig.
+
+    Raises:
+        ValueError: if the BAM is not coordinate-sorted (positions
+            decreasing within a contig, or contigs out of header
+            order), or a record references a name not in the header.
     """
     if granularity <= 0:
         raise ValueError(f"granularity must be positive, got {granularity}")
-    checkpoints: List[Tuple[int, int]] = []
-    max_span = 1
-    last_pos = -1
+    builders: Dict[str, _ContigIndexBuilder] = {}
     with BamReader(bam_path) as reader:
-        data_start = reader.tell()
-        i = 0
+        rank = {
+            name: i for i, (name, _) in enumerate(reader.header.references)
+        }
+        last_rank = -1
+        last_pos = -1
         while True:
             voffset = reader.tell()
             record = reader.read_record()
             if record is None:
                 break
+            if record.is_unmapped or record.rname == "*":
+                continue
+            r = rank.get(record.rname)
+            if r is None:
+                raise ValueError(
+                    f"record references {record.rname!r}, not in the header"
+                )
+            if r < last_rank:
+                raise ValueError(
+                    "cannot index an unsorted BAM (contig "
+                    f"{record.rname!r} appears after a later header contig)"
+                )
+            if r > last_rank:
+                last_rank = r
+                last_pos = -1
+                builders[record.rname] = _ContigIndexBuilder(voffset)
             if record.pos < last_pos:
                 raise ValueError(
                     "cannot index an unsorted BAM "
                     f"({record.qname} at {record.pos} after {last_pos})"
                 )
             last_pos = record.pos
+            builder = builders[record.rname]
             span = record.reference_end - record.pos
-            if span > max_span:
-                max_span = span
-            if i % granularity == 0:
-                checkpoints.append((record.pos, voffset))
-            i += 1
-    return LinearIndex(
-        checkpoints=checkpoints, max_read_span=max_span, data_start=data_start
-    )
+            if span > builder.max_span:
+                builder.max_span = span
+            if builder.n_records % granularity == 0:
+                builder.checkpoints.append((record.pos, voffset))
+            builder.n_records += 1
+    return {
+        name: LinearIndex(
+            checkpoints=b.checkpoints,
+            max_read_span=b.max_span,
+            data_start=b.data_start,
+        )
+        for name, b in builders.items()
+    }

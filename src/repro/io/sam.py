@@ -71,9 +71,13 @@ def parse_record(line: str) -> AlignedRead:
         qual_s,
     ) = fields[:11]
     seq = "" if seq == "*" else seq.upper()
-    if qual_s == "*":
+    if qual_s == "*" and len(seq) != 1:
         qual = np.zeros(len(seq), dtype=np.uint8)
     else:
+        # A lone "*" is ambiguous for 1-base reads: Phred 9 encodes to
+        # chr(9+33) == "*", the same glyph SAM uses for "quality
+        # unavailable".  Resolve in favour of a literal quality so
+        # format->parse round-trips exactly (htslib loses it instead).
         qual = ascii_to_phred(qual_s)
     tags: dict[str, Tuple[str, Any]] = {}
     for tag_field in fields[11:]:

@@ -15,7 +15,7 @@ import math
 import os
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, TextIO, Tuple, Union
 
-__all__ = ["VcfRecord", "read_vcf", "write_vcf", "VCF_VERSION"]
+__all__ = ["VcfRecord", "VcfWriter", "read_vcf", "write_vcf", "VCF_VERSION"]
 
 PathOrFile = Union[str, os.PathLike, TextIO]
 
@@ -143,18 +143,26 @@ def _open_text(source: PathOrFile, mode: str) -> tuple[TextIO, bool]:
     return open(source, mode), True
 
 
-def write_vcf(
-    dest: PathOrFile,
-    records: Iterable[VcfRecord],
-    *,
-    reference: Optional[Sequence[Tuple[str, int]]] = None,
-    source: str = "repro-lofreq",
-    extra_headers: Optional[Sequence[str]] = None,
-) -> int:
-    """Write a VCF file; returns the number of records written."""
-    handle, owned = _open_text(dest, "w")
-    n = 0
-    try:
+class VcfWriter:
+    """Incremental VCF writer (the same dialect as :func:`write_vcf`).
+
+    Headers are emitted on construction; records stream one at a time
+    through :meth:`write`, so callers (the pipeline's ``VcfSink``) never
+    have to materialise a whole record list.  Usable as a context
+    manager; passing an open text handle leaves closing to the caller.
+    """
+
+    def __init__(
+        self,
+        dest: PathOrFile,
+        *,
+        reference: Optional[Sequence[Tuple[str, int]]] = None,
+        source: str = "repro-lofreq",
+        extra_headers: Optional[Sequence[str]] = None,
+    ) -> None:
+        self._handle, self._owned = _open_text(dest, "w")
+        self.records_written = 0
+        handle = self._handle
         handle.write(f"##fileformat={VCF_VERSION}\n")
         handle.write(f"##source={source}\n")
         if reference:
@@ -164,16 +172,41 @@ def write_vcf(
             handle.write(line + "\n")
         for line in extra_headers or ():
             handle.write(line + "\n")
-        handle.write(
-            "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\n"
-        )
+        handle.write("#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\n")
+
+    def write(self, record: VcfRecord) -> None:
+        self._handle.write(record.to_line() + "\n")
+        self.records_written += 1
+
+    def close(self) -> None:
+        if self._owned:
+            self._handle.close()
+
+    def __enter__(self) -> "VcfWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def write_vcf(
+    dest: PathOrFile,
+    records: Iterable[VcfRecord],
+    *,
+    reference: Optional[Sequence[Tuple[str, int]]] = None,
+    source: str = "repro-lofreq",
+    extra_headers: Optional[Sequence[str]] = None,
+) -> int:
+    """Write a VCF file; returns the number of records written."""
+    writer = VcfWriter(
+        dest, reference=reference, source=source, extra_headers=extra_headers
+    )
+    try:
         for rec in records:
-            handle.write(rec.to_line() + "\n")
-            n += 1
+            writer.write(rec)
     finally:
-        if owned:
-            handle.close()
-    return n
+        writer.close()
+    return writer.records_written
 
 
 def read_vcf(source: PathOrFile) -> Tuple[List[str], List[VcfRecord]]:

@@ -19,7 +19,7 @@ with dynamic scheduling and one BAM reader per thread.
   ASCII timeline renderer behind the Figure 2 reproduction.
 """
 
-from repro.parallel.legacy import legacy_parallel_call
+from repro.parallel.legacy import legacy_call_bam, legacy_parallel_call
 from repro.parallel.openmp import ParallelCallOptions, parallel_call
 from repro.parallel.partition import chunk_region, partition_region
 from repro.parallel.scheduler import (
@@ -39,6 +39,7 @@ __all__ = [
     "TraceEvent",
     "Tracer",
     "chunk_region",
+    "legacy_call_bam",
     "legacy_parallel_call",
     "make_scheduler",
     "parallel_call",

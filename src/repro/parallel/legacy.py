@@ -11,10 +11,13 @@ flagged the inconsistency; the paper's OpenMP reorganisation fixes it
 by moving all calling into one process with a single final filter.
 
 :func:`legacy_parallel_call` reproduces the buggy pipeline faithfully
-(including, optionally, running partitions in real processes); the
-test suite and ``benchmarks/bench_filterbug.py`` demonstrate both the
-inconsistency and that :func:`repro.parallel.openmp.parallel_call`
-does not share it.
+over an in-memory sample (including, optionally, running partitions
+in real processes); :func:`legacy_call_bam` is the same pipeline over
+a BAM file (relocated here from ``cli.py``, now a thin adapter over
+``Pipeline`` in ``"legacy"`` mode).  The test suite and
+``benchmarks/bench_filterbug.py`` demonstrate both the inconsistency
+and that :func:`repro.parallel.openmp.parallel_call` does not share
+it.
 """
 
 from __future__ import annotations
@@ -29,7 +32,7 @@ from repro.io.regions import Region
 from repro.parallel.partition import partition_region
 from repro.pileup.engine import PileupConfig
 
-__all__ = ["legacy_parallel_call"]
+__all__ = ["legacy_call_bam", "legacy_parallel_call"]
 
 
 def _call_partition(
@@ -129,3 +132,51 @@ def legacy_parallel_call(
     thresholds = policy.fit(survivors)
     final = apply_filters(survivors, thresholds)
     return CallResult(calls=final, stats=merged_stats)
+
+
+def legacy_call_bam(
+    bam_path,
+    reference,
+    region: Optional[Region] = None,
+    *,
+    config: Optional[CallerConfig] = None,
+    n_partitions: int = 4,
+    pileup_config: Optional[PileupConfig] = None,
+    filter_policy: Optional[DynamicFilterPolicy] = None,
+) -> CallResult:
+    """Run the legacy partition-per-process pipeline over a BAM file.
+
+    The CLI's ``--legacy-parallel`` demonstration path, relocated from
+    ``cli.py``: each partition is called independently (Bonferroni
+    scope = the partition's own length), filtered with thresholds
+    fitted to its own calls, and the merged PASS survivors are
+    filtered *again* -- the double-filtering inconsistency, reproduced
+    on purpose.
+
+    Args:
+        bam_path: coordinate-sorted BAM file.
+        reference: reference sequence (or ``{name: sequence}`` map).
+        region: scope; defaults to the BAM's **first** reference (the
+            legacy wrapper never understood multi-contig inputs).
+        config: caller configuration.
+        n_partitions: equal partitions / simulated worker processes.
+        pileup_config: pileup filters.
+        filter_policy: the dynamic filter policy (fitted twice!).
+    """
+    from repro.pipeline import BamSource, ExecutionPolicy, Pipeline
+
+    if region is None:
+        from repro.io.bam import BamReader
+
+        with BamReader(bam_path) as reader:
+            name, length = reader.header.references[0]
+        region = Region(name, 0, length)
+    source = BamSource(
+        bam_path, reference, regions=[region], pileup_config=pileup_config
+    )
+    return Pipeline(
+        source,
+        config=config or CallerConfig.improved(),
+        filter_policy=filter_policy or DynamicFilterPolicy(),
+        policy=ExecutionPolicy(mode="legacy", n_workers=max(1, n_partitions)),
+    ).run()

@@ -1,21 +1,18 @@
 """The OpenMP-style shared-memory parallel driver (paper Section II-B).
 
-Faithful to the paper's experimental branch:
+The worker loops, per-worker BAM readers and trace bookkeeping that
+used to live here are now the pipeline execution layer
+(:mod:`repro.pipeline.engine` and :mod:`repro.pipeline.sources`);
+:func:`parallel_call` remains as a thin, equivalence-tested adapter
+that maps its historical options onto a
+:class:`~repro.pipeline.Pipeline`:
 
 * the genome is tiled into chunks of columns;
 * a scheduler (default **dynamic**) hands chunks to workers;
-* each worker owns an *independent* reader over the input -- a
-  :class:`~repro.io.bam.BamReader` of its own for BAM sources, or a
-  read-only view of the shared sample matrices for in-memory sources;
+* each worker owns an *independent* reader over the input;
 * workers produce raw (unfiltered) calls so the dynamic post-filter
   runs exactly **once** on the merged result -- the fix for the
   legacy wrapper's double-filtering inconsistency;
-* each chunk is evaluated by the engine ``config.engine`` selects --
-  the per-allele streaming loop or the vectorised batched engine
-  (:mod:`repro.core.batched`); the dispatch happens inside
-  :meth:`~repro.core.caller.VariantCaller.call_columns` per chunk, so
-  batched screening amortises over exactly one scheduling chunk at a
-  time and composes with every scheduler/backend combination;
 * every worker records trace events (decompress / bam-iter / prob /
   barrier) so the run can be rendered as the paper's Figure 2.
 
@@ -29,18 +26,13 @@ from __future__ import annotations
 
 import dataclasses
 import os
-import threading
-import time
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Optional, Union
 
-from repro.core.caller import VariantCaller
 from repro.core.config import CallerConfig
-from repro.core.filters import DynamicFilterPolicy, filter_once
-from repro.core.results import CallResult, RunStats
+from repro.core.filters import DynamicFilterPolicy
+from repro.core.results import CallResult
 from repro.io.regions import Region
-from repro.parallel.partition import chunk_region
-from repro.parallel.scheduler import make_scheduler
-from repro.parallel.trace import Category, Tracer
+from repro.parallel.trace import Tracer
 from repro.pileup.engine import PileupConfig
 
 __all__ = ["ParallelCallOptions", "parallel_call"]
@@ -73,108 +65,6 @@ class ParallelCallOptions:
             raise ValueError(f"unknown backend {self.backend!r}")
 
 
-def _flatten(item) -> List[Region]:
-    """Schedulers may hand back one Region or a span of them."""
-    if isinstance(item, Region):
-        return [item]
-    return list(item)
-
-
-class _SampleSource:
-    """Per-worker access to an in-memory SimulatedSample."""
-
-    def __init__(self, sample, pileup_config: PileupConfig) -> None:
-        self.sample = sample
-        self.pileup_config = pileup_config
-
-    def columns_for(self, chunk: Region, tracer: Tracer, worker: int):
-        from repro.pileup.vectorized import pileup_sample
-
-        with tracer.span(worker, Category.BAM_ITER):
-            return list(pileup_sample(self.sample, chunk, self.pileup_config))
-
-
-class _BamSource:
-    """Per-worker BAM readers with linear-index seeks."""
-
-    def __init__(
-        self, path, reference: str, pileup_config: PileupConfig
-    ) -> None:
-        from repro.io.linear_index import build_index
-
-        self.path = os.fspath(path)
-        self.reference = reference
-        self.pileup_config = pileup_config
-        self.index = build_index(self.path)
-        self._local = threading.local()
-
-    def _reader(self):
-        from repro.io.bam import BamReader
-
-        # One reader per (process, thread): forked children must not
-        # share the parent's file descriptor offset.
-        key = os.getpid()
-        reader = getattr(self._local, "reader", None)
-        if reader is None or getattr(self._local, "pid", None) != key:
-            reader = BamReader(self.path)  # independent reader per worker
-            self._local.reader = reader
-            self._local.pid = key
-        return reader
-
-    def columns_for(self, chunk: Region, tracer: Tracer, worker: int):
-        from repro.pileup.engine import pileup
-
-        reader = self._reader()
-        t_dec0 = reader._bgzf.time_decompress
-        t0 = time.perf_counter()
-        reader.seek(self.index.query(chunk.start))
-
-        def reads():
-            while True:
-                rec = reader.read_record()
-                if rec is None:
-                    return
-                if rec.pos >= chunk.end:
-                    return
-                yield rec
-
-        columns = list(
-            pileup(reads(), self.reference, chunk, self.pileup_config)
-        )
-        t1 = time.perf_counter()
-        dec = reader._bgzf.time_decompress - t_dec0
-        # Attribute inflation time to DECOMPRESS and the remainder of
-        # the read+pileup phase to BAM_ITER, as HPC-Toolkit would.
-        tracer.record(worker, Category.DECOMPRESS, t0, t0 + dec)
-        tracer.record(worker, Category.BAM_ITER, t0 + dec, t1)
-        return columns
-
-
-def _worker_loop(
-    worker: int,
-    scheduler,
-    source,
-    caller: VariantCaller,
-    region_length: int,
-    tracer: Tracer,
-) -> CallResult:
-    """One worker: pull chunks until the scheduler runs dry."""
-    merged = CallResult(calls=[], stats=RunStats())
-    while True:
-        with tracer.span(worker, Category.SCHED):
-            item = scheduler.next(worker)
-        if item is None:
-            break
-        for chunk in _flatten(item):
-            columns = source.columns_for(chunk, tracer, worker)
-            with tracer.span(worker, Category.PROB):
-                result = caller.call_columns(
-                    columns, region_length, apply_filters=False
-                )
-            merged.merge(result)
-    return merged
-
-
 def parallel_call(
     source: Union["os.PathLike", str, object],
     reference: str,
@@ -191,8 +81,10 @@ def parallel_call(
     Args:
         source: a :class:`~repro.sim.reads.SimulatedSample` or a BAM
             file path.
-        reference: reference sequence for the region's chromosome.
-        region: scope; defaults to the whole reference/sample genome.
+        reference: reference sequence for the region's chromosome (a
+            ``{name: sequence}`` mapping also works for BAM sources).
+        region: scope; defaults to the whole sample genome, or every
+            contig of a BAM source.
         config: caller configuration (default: improved preset).
         pileup_config: pileup filters.
         filter_policy: dynamic post-filter, applied exactly once on
@@ -204,135 +96,40 @@ def parallel_call(
         The merged, single-pass-filtered :class:`CallResult`.  The
         PASS call set is identical to a single-process run with the
         same configuration (tested), unlike the legacy wrapper.
+
+    .. deprecated:: prefer building a
+       :class:`~repro.pipeline.Pipeline` with an
+       :class:`~repro.pipeline.ExecutionPolicy` directly; this adapter
+       remains equivalent.
     """
-    opts = options or ParallelCallOptions()
-    caller = VariantCaller(
-        config or CallerConfig.improved(),
-        pileup_config=pileup_config,
-        filter_policy=None,  # workers never filter; the driver does.
+    from repro.pipeline import (
+        BamSource,
+        ExecutionPolicy,
+        Pipeline,
+        SampleSource,
     )
-    trc = tracer or Tracer()
 
-    # Resolve the source and default region.
+    opts = options or ParallelCallOptions()
     if hasattr(source, "starts") and hasattr(source, "genome"):
-        if region is None:
-            region = Region(source.genome.name, 0, len(source.genome))
-        src = _SampleSource(source, caller.pileup_config)
+        src = SampleSource(source, region=region, pileup_config=pileup_config)
     else:
-        if region is None:
-            from repro.io.bam import BamReader
-
-            with BamReader(source) as reader:
-                name, length = reader.header.references[0]
-            region = Region(name, 0, length)
-        src = _BamSource(source, reference, caller.pileup_config)
-
-    chunks = chunk_region(region, opts.chunk_columns)
-    region_length = len(region)
-
-    if opts.backend == "serial":
-        scheduler = make_scheduler(opts.schedule, chunks, 1)
-        merged = _worker_loop(0, scheduler, src, caller, region_length, trc)
-    elif opts.backend == "thread":
-        scheduler = make_scheduler(opts.schedule, chunks, opts.n_workers)
-        results: List[Optional[CallResult]] = [None] * opts.n_workers
-
-        def run(w: int) -> None:
-            results[w] = _worker_loop(
-                w, scheduler, src, caller, region_length, trc
-            )
-
-        threads = [
-            threading.Thread(target=run, args=(w,), name=f"omp-{w}")
-            for w in range(opts.n_workers)
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        merged = CallResult(calls=[], stats=RunStats())
-        for r in results:
-            if r is not None:
-                merged.merge(r)
-    else:  # process backend
-        merged = _process_backend(
-            src, chunks, caller, region_length, opts, trc
+        src = BamSource(
+            source,
+            reference,
+            regions=[region] if region is not None else None,
+            pileup_config=pileup_config,
         )
-
-    _record_barrier(trc, opts.n_workers if opts.backend != "serial" else 1)
-
-    if filter_policy is not None:
-        merged.calls = filter_once(merged.calls, filter_policy)
-    return merged
-
-
-def _record_barrier(tracer: Tracer, n_workers: int) -> None:
-    """Synthesise end-barrier events: each worker waits from its last
-    activity until the slowest worker finishes (the dark-green tail in
-    Figure 2)."""
-    events = tracer.events
-    if not events:
-        return
-    t_end = max(e.end for e in events)
-    for w in range(n_workers):
-        w_events = [e for e in events if e.worker == w]
-        if not w_events:
-            continue
-        last = max(e.end for e in w_events)
-        if t_end - last > 1e-9:
-            tracer.record(w, Category.BARRIER, last, t_end)
-
-
-# -- process backend ----------------------------------------------------------
-
-_FORK_STATE: dict = {}
-
-
-def _process_worker(args: Tuple[int, List[Region]]):
-    worker, chunk_list = args
-    src = _FORK_STATE["src"]
-    caller = _FORK_STATE["caller"]
-    region_length = _FORK_STATE["region_length"]
-    tracer = Tracer()
-    merged = CallResult(calls=[], stats=RunStats())
-    for chunk in chunk_list:
-        columns = src.columns_for(chunk, tracer, worker)
-        with tracer.span(worker, Category.PROB):
-            result = caller.call_columns(
-                columns, region_length, apply_filters=False
-            )
-        merged.merge(result)
-    return merged.calls, merged.stats, tracer.events
-
-
-def _process_backend(
-    src,
-    chunks: Sequence[Region],
-    caller: VariantCaller,
-    region_length: int,
-    opts: ParallelCallOptions,
-    tracer: Tracer,
-) -> CallResult:
-    """Fork-based backend: chunks pre-partitioned round-robin (static)
-    across processes; shared state inherited copy-on-write."""
-    import multiprocessing as mp
-
-    ctx = mp.get_context("fork")
-    assignments = [
-        (w, [chunks[i] for i in range(w, len(chunks), opts.n_workers)])
-        for w in range(opts.n_workers)
-    ]
-    _FORK_STATE["src"] = src
-    _FORK_STATE["caller"] = caller
-    _FORK_STATE["region_length"] = region_length
-    try:
-        with ctx.Pool(opts.n_workers) as pool:
-            outputs = pool.map(_process_worker, assignments)
-    finally:
-        _FORK_STATE.clear()
-    merged = CallResult(calls=[], stats=RunStats())
-    for calls, stats, events in outputs:
-        merged.merge(CallResult(calls=calls, stats=stats))
-        for e in events:
-            tracer.record(e.worker, e.category, e.start, e.end)
-    return merged
+    serial = opts.backend == "serial"
+    policy = ExecutionPolicy(
+        mode="serial" if serial else opts.backend,
+        n_workers=1 if serial else opts.n_workers,
+        chunk_columns=opts.chunk_columns,
+        schedule=opts.schedule,
+    )
+    return Pipeline(
+        src,
+        config=config,
+        filter_policy=filter_policy,
+        policy=policy,
+        tracer=tracer,
+    ).run()

@@ -1,0 +1,60 @@
+"""The composable calling pipeline: sources -> engine -> sinks.
+
+Every calling workload is the same three-stage pipe:
+
+* a **source** (:mod:`repro.pipeline.sources`) turns an input substrate
+  -- BAM file, read stream, in-memory sample, pre-built columns --
+  into ``(region, columns)`` work units, covering every contig of a
+  multi-contig BAM;
+* the **engine** (:mod:`repro.pipeline.engine`) evaluates the units
+  under an :class:`ExecutionPolicy` (serial / thread / process / the
+  deliberately buggy legacy demo) and post-filters the merged calls
+  exactly once;
+* **sinks** (:mod:`repro.pipeline.sinks`) stream the final calls out
+  incrementally (VCF, JSON Lines, stats JSON, tee).
+
+One entry point::
+
+    from repro.pipeline import BamSource, Pipeline, VcfSink
+
+    source = BamSource("sample.bam", load_reference("ref.fa"))
+    result = Pipeline(
+        source, sinks=[VcfSink("calls.vcf", contigs=source.contigs)]
+    ).run()
+
+The pre-pipeline surfaces -- :meth:`VariantCaller.call_reads` /
+``call_sample`` / ``call_bam`` and
+:func:`repro.parallel.openmp.parallel_call` -- remain as thin,
+equivalence-tested adapters over this package.
+"""
+
+from repro.pipeline.engine import ExecutionPolicy, Pipeline
+from repro.pipeline.sinks import (
+    CallSink,
+    JsonlSink,
+    StatsSink,
+    TeeSink,
+    VcfSink,
+)
+from repro.pipeline.sources import (
+    BamSource,
+    ColumnSource,
+    ColumnsSource,
+    ReadsSource,
+    SampleSource,
+)
+
+__all__ = [
+    "BamSource",
+    "CallSink",
+    "ColumnSource",
+    "ColumnsSource",
+    "ExecutionPolicy",
+    "JsonlSink",
+    "Pipeline",
+    "ReadsSource",
+    "SampleSource",
+    "StatsSink",
+    "TeeSink",
+    "VcfSink",
+]

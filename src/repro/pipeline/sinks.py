@@ -1,0 +1,222 @@
+"""Call sinks: the output side of the pipeline.
+
+A :class:`CallSink` receives the final (filtered) calls one at a time
+-- the pipeline never materialises an output-format record list -- and
+a closing :meth:`~CallSink.finish` with the complete
+:class:`~repro.core.results.CallResult` for summary outputs.
+
+* :class:`VcfSink` -- streaming VCF (LoFreq dialect, byte-identical to
+  :func:`repro.io.vcf.write_vcf`);
+* :class:`JsonlSink` -- one JSON object per call, for downstream
+  tooling that would rather not parse VCF;
+* :class:`StatsSink` -- machine-readable run statistics
+  (:meth:`RunStats.to_dict`), the CLI's ``--stats-json``;
+* :class:`TeeSink` -- fan one call stream out to several sinks.
+
+The dynamic post-filter is fitted on the complete call set, so filter
+labels only exist once calling has finished; sinks therefore see calls
+after filtering, streamed in final sorted order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import (
+    IO,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
+
+from repro.core.results import CallResult, VariantCall
+
+__all__ = ["CallSink", "JsonlSink", "StatsSink", "TeeSink", "VcfSink"]
+
+PathOrFile = Union[str, os.PathLike, IO]
+
+
+@runtime_checkable
+class CallSink(Protocol):
+    """Anything that can consume a stream of final variant calls.
+
+    Sinks may additionally define an ``abort()`` method; the pipeline
+    calls it (instead of :meth:`finish`) if writing fails mid-stream,
+    so file handles are released on error paths.
+    """
+
+    def start(self) -> None:
+        """Called once before any calls are written."""
+        ...
+
+    def write(self, call: VariantCall) -> None:
+        """Called once per final call, in sorted order."""
+        ...
+
+    def finish(self, result: CallResult) -> None:
+        """Called once after the last call, with the full result."""
+        ...
+
+
+def _open_text(dest: PathOrFile):
+    if hasattr(dest, "write"):
+        return dest, False
+    return open(dest, "w"), True
+
+
+class VcfSink:
+    """Stream calls to a VCF file (or open text handle).
+
+    Args:
+        dest: output path or text handle.
+        contigs: ``(name, length)`` pairs for the ``##contig`` header
+            lines (e.g. :attr:`BamSource.contigs`).
+        source: the ``##source`` header value.
+        extra_headers: extra ``##`` lines, verbatim.
+    """
+
+    def __init__(
+        self,
+        dest: PathOrFile,
+        *,
+        contigs: Optional[Sequence[Tuple[str, int]]] = None,
+        source: str = "repro-lofreq",
+        extra_headers: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.dest = dest
+        self.contigs = contigs
+        self.source = source
+        self.extra_headers = extra_headers
+        self.records_written = 0
+        self._writer = None
+
+    def start(self) -> None:
+        from repro.io.vcf import VcfWriter
+
+        self._writer = VcfWriter(
+            self.dest,
+            reference=self.contigs,
+            source=self.source,
+            extra_headers=self.extra_headers,
+        )
+
+    def write(self, call: VariantCall) -> None:
+        self._writer.write(call.to_vcf_record())
+
+    def finish(self, result: CallResult) -> None:
+        if self._writer is not None:
+            self.records_written = self._writer.records_written
+            self._writer.close()
+            self._writer = None
+
+    def abort(self) -> None:
+        """Close the underlying handle after a failed run."""
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+
+def _call_payload(call: VariantCall) -> dict:
+    """JSON-safe dict for one call (numpy scalars coerced)."""
+    return {
+        "chrom": call.chrom,
+        "pos": int(call.pos),
+        "ref": call.ref,
+        "alt": call.alt,
+        "quality": float(call.quality),
+        "filter": call.filter,
+        "pvalue": float(call.pvalue),
+        "corrected_pvalue": float(call.corrected_pvalue),
+        "depth": int(call.depth),
+        "alt_count": int(call.alt_count),
+        "af": float(call.af),
+        "dp4": [int(x) for x in call.dp4],
+        "strand_bias": float(call.strand_bias),
+    }
+
+
+class JsonlSink:
+    """Stream calls as JSON Lines: one object per call.
+
+    Positions are 0-based (unlike the 1-based VCF text), matching the
+    in-memory :class:`~repro.core.results.VariantCall` model.
+    """
+
+    def __init__(self, dest: PathOrFile) -> None:
+        self.dest = dest
+        self.records_written = 0
+        self._handle = None
+        self._owned = False
+
+    def start(self) -> None:
+        self._handle, self._owned = _open_text(self.dest)
+        self.records_written = 0
+
+    def write(self, call: VariantCall) -> None:
+        self._handle.write(json.dumps(_call_payload(call)) + "\n")
+        self.records_written += 1
+
+    def finish(self, result: CallResult) -> None:
+        if self._handle is not None and self._owned:
+            self._handle.close()
+        self._handle = None
+
+    def abort(self) -> None:
+        """Close the underlying handle after a failed run."""
+        self.finish(None)
+
+
+class StatsSink:
+    """Write run statistics as JSON when the run finishes."""
+
+    def __init__(self, dest: PathOrFile) -> None:
+        self.dest = dest
+
+    def start(self) -> None:
+        pass
+
+    def write(self, call: VariantCall) -> None:
+        pass
+
+    def finish(self, result: CallResult) -> None:
+        payload = {
+            "n_calls": len(result.calls),
+            "n_pass": len(result.passed),
+            "stats": result.stats.to_dict(),
+        }
+        handle, owned = _open_text(self.dest)
+        try:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        finally:
+            if owned:
+                handle.close()
+
+
+class TeeSink:
+    """Fan the call stream out to several sinks."""
+
+    def __init__(self, *sinks: CallSink) -> None:
+        self.sinks: List[CallSink] = list(sinks)
+
+    def start(self) -> None:
+        for sink in self.sinks:
+            sink.start()
+
+    def write(self, call: VariantCall) -> None:
+        for sink in self.sinks:
+            sink.write(call)
+
+    def finish(self, result: CallResult) -> None:
+        for sink in self.sinks:
+            sink.finish(result)
+
+    def abort(self) -> None:
+        for sink in self.sinks:
+            abort = getattr(sink, "abort", None)
+            if abort is not None:
+                abort()

@@ -1,0 +1,387 @@
+"""Column sources: the input side of the pipeline.
+
+A :class:`ColumnSource` owns an input substrate (a BAM file, a read
+stream, an in-memory sample, pre-built columns) and exposes it as
+``(region, columns)`` work units:
+
+* :meth:`ColumnSource.regions` declares the top-level regions the
+  source is responsible for -- one per contig for a multi-contig BAM,
+  which is how the pipeline calls across **every** reference instead
+  of only ``header.references[0]``;
+* :meth:`ColumnSource.columns_for` materialises the pileup columns of
+  any sub-interval of those regions, so the execution layer is free to
+  re-chunk regions for scheduling.
+
+``columns_for`` must be safe to call from multiple workers at once
+(:class:`BamSource` keeps one reader per worker; :class:`SampleSource`
+reads shared matrices), except :class:`ReadsSource` over a one-shot
+iterator, which supports exactly one pass and is documented as such.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
+
+from repro.io.records import AlignedRead
+from repro.io.regions import Region
+from repro.parallel.trace import Category, Tracer
+from repro.pileup.column import PileupColumn
+from repro.pileup.engine import PileupConfig, pileup
+
+__all__ = [
+    "BamSource",
+    "ColumnSource",
+    "ColumnsSource",
+    "ReadsSource",
+    "SampleSource",
+]
+
+#: A reference is either one sequence string (single-contig inputs) or
+#: a mapping ``{contig name: sequence}`` (``load_reference`` output or
+#: ``FastaRecord`` values both work).
+ReferenceLike = Union[str, Mapping[str, object]]
+
+
+@runtime_checkable
+class ColumnSource(Protocol):
+    """Anything that can hand the pipeline pileup columns by region."""
+
+    def regions(self) -> Sequence[Region]:
+        """Top-level regions this source will produce columns for."""
+        ...
+
+    def columns_for(
+        self,
+        chunk: Region,
+        tracer: Optional[Tracer] = None,
+        worker: int = 0,
+    ) -> Iterable[PileupColumn]:
+        """Columns of ``chunk`` (any sub-interval of a region)."""
+        ...
+
+
+class ColumnsSource:
+    """Pre-built pileup columns (unit tests, custom pileup engines).
+
+    Args:
+        columns: pileup columns covering ``region`` (any iterable; a
+            one-shot iterator is materialised on first use).
+        region: the Bonferroni scope the columns represent.
+    """
+
+    def __init__(self, columns: Iterable[PileupColumn], region: Region) -> None:
+        self._columns = columns
+        self._materialised: Optional[List[PileupColumn]] = None
+        self._lock = threading.Lock()
+        self.region = region
+
+    def regions(self) -> Sequence[Region]:
+        return [self.region]
+
+    def _materialise(self) -> List[PileupColumn]:
+        # Double-checked under a lock: concurrent workers must not
+        # split a shared one-shot iterator between them.
+        if self._materialised is None:
+            with self._lock:
+                if self._materialised is None:
+                    self._materialised = list(self._columns)
+        return self._materialised
+
+    def columns_for(
+        self,
+        chunk: Region,
+        tracer: Optional[Tracer] = None,
+        worker: int = 0,
+    ) -> List[PileupColumn]:
+        return [
+            c
+            for c in self._materialise()
+            if c.chrom == chunk.chrom and chunk.start <= c.pos < chunk.end
+        ]
+
+
+class ReadsSource:
+    """Coordinate-sorted reads through the streaming pileup engine.
+
+    Args:
+        reads: alignments sorted by position.  A list/tuple supports
+            any execution mode; a one-shot iterator streams lazily but
+            supports only a single ``columns_for`` pass (serial,
+            unchunked execution -- the :meth:`VariantCaller.call_reads`
+            shim's mode).
+        reference: reference sequence for ``region.chrom``.
+        region: scope of the calling run.
+        pileup_config: pileup filtering parameters.
+    """
+
+    def __init__(
+        self,
+        reads: Iterable[AlignedRead],
+        reference: str,
+        region: Region,
+        pileup_config: Optional[PileupConfig] = None,
+    ) -> None:
+        self._reads = reads
+        self._consumed = False
+        self.reference = reference
+        self.region = region
+        self.pileup_config = pileup_config or PileupConfig()
+
+    def regions(self) -> Sequence[Region]:
+        return [self.region]
+
+    def columns_for(
+        self,
+        chunk: Region,
+        tracer: Optional[Tracer] = None,
+        worker: int = 0,
+    ) -> Iterable[PileupColumn]:
+        if isinstance(self._reads, (list, tuple)):
+            reads: Iterable[AlignedRead] = iter(self._reads)
+        else:
+            if self._consumed:
+                raise ValueError(
+                    "ReadsSource over a one-shot iterator supports a "
+                    "single pass; pass a list of reads for parallel or "
+                    "chunked execution"
+                )
+            self._consumed = True
+            reads = self._reads
+        return pileup(reads, self.reference, chunk, self.pileup_config)
+
+
+class SampleSource:
+    """An in-memory :class:`~repro.sim.reads.SimulatedSample` through
+    the vectorised pileup (the benchmark fast path).  Workers share the
+    sample's matrices read-only, so every execution mode is safe."""
+
+    def __init__(
+        self,
+        sample,
+        region: Optional[Region] = None,
+        pileup_config: Optional[PileupConfig] = None,
+    ) -> None:
+        self.sample = sample
+        self._region = region
+        self.pileup_config = pileup_config or PileupConfig()
+
+    def regions(self) -> Sequence[Region]:
+        if self._region is not None:
+            return [self._region]
+        return [
+            Region(self.sample.genome.name, 0, len(self.sample.genome))
+        ]
+
+    def columns_for(
+        self,
+        chunk: Region,
+        tracer: Optional[Tracer] = None,
+        worker: int = 0,
+    ) -> List[PileupColumn]:
+        from repro.pileup.vectorized import pileup_sample
+
+        trc = tracer or Tracer()
+        with trc.span(worker, Category.BAM_ITER):
+            return list(
+                pileup_sample(self.sample, chunk, self.pileup_config)
+            )
+
+
+class BamSource:
+    """A BAM file on disk, with per-worker readers and per-contig seeks.
+
+    The default region set is **every reference in the BAM header**, so
+    multi-contig BAMs are called end to end.  Each worker (thread or
+    forked process) gets an independent :class:`~repro.io.bam.BamReader`
+    and seeks straight to its chunk through a lazily built per-contig
+    linear index (:func:`repro.io.linear_index.build_multi_index`); the
+    common serial whole-file case streams from the first record without
+    paying for an index scan.
+
+    Args:
+        path: coordinate-sorted BAM file.
+        reference: one sequence string (valid only when all regions sit
+            on a single contig) or a ``{name: sequence}`` mapping as
+            returned by :func:`repro.io.fasta.load_reference`
+            (:class:`~repro.io.fasta.FastaRecord` values also accepted).
+        regions: explicit regions to call; default is one region per
+            header reference -- except with a plain-string reference on
+            a multi-contig BAM, where the default falls back to the
+            first reference only (the legacy ``call_bam`` scope, since
+            one string cannot cover several contigs).
+        pileup_config: pileup filtering parameters.
+
+    Raises:
+        ValueError: if a single reference string is paired with regions
+            on more than one contig.
+    """
+
+    def __init__(
+        self,
+        path,
+        reference: ReferenceLike,
+        regions: Optional[Sequence[Region]] = None,
+        pileup_config: Optional[PileupConfig] = None,
+    ) -> None:
+        from repro.io.bam import BamReader
+
+        self.path = os.fspath(path)
+        self.pileup_config = pileup_config or PileupConfig()
+        with BamReader(self.path) as reader:
+            self.contigs: List[Tuple[str, int]] = list(
+                reader.header.references
+            )
+        self._rank = {name: i for i, (name, _) in enumerate(self.contigs)}
+        if regions is None:
+            if isinstance(reference, str) and len(self.contigs) > 1:
+                # A single sequence string cannot describe more than
+                # one contig, so fall back to the legacy first-reference
+                # scope (the pre-pipeline call_bam/parallel_call
+                # behaviour) instead of failing.
+                name, length = self.contigs[0]
+                self._regions = [Region(name, 0, length)]
+            else:
+                self._regions = [
+                    Region(name, 0, length) for name, length in self.contigs
+                ]
+        else:
+            self._regions = list(regions)
+        self._refmap = self._build_refmap(reference)
+        self._indexes: Optional[Dict[str, object]] = None
+        self._index_lock = threading.Lock()
+        self._local = threading.local()
+
+    def _build_refmap(self, reference: ReferenceLike) -> Dict[str, str]:
+        if isinstance(reference, str):
+            chroms = {r.chrom for r in self._regions}
+            if len(chroms) > 1:
+                raise ValueError(
+                    "a single reference string covers one contig; pass "
+                    "a {name: sequence} mapping to call "
+                    f"{sorted(chroms)}"
+                )
+            return {chrom: reference for chrom in chroms}
+        out: Dict[str, str] = {}
+        for name, seq in reference.items():
+            out[name] = seq.sequence if hasattr(seq, "sequence") else str(seq)
+        return out
+
+    def regions(self) -> Sequence[Region]:
+        return list(self._regions)
+
+    def _reference_for(self, chrom: str) -> str:
+        try:
+            return self._refmap[chrom]
+        except KeyError:
+            raise ValueError(
+                f"no reference sequence for contig {chrom!r}"
+            ) from None
+
+    def prepare(self) -> None:
+        """Build the per-contig index eagerly (the process backend
+        calls this before forking so children inherit it)."""
+        self._ensure_indexes()
+
+    def _ensure_indexes(self) -> Dict[str, object]:
+        if self._indexes is None:
+            with self._index_lock:
+                if self._indexes is None:
+                    from repro.io.linear_index import build_multi_index
+
+                    self._indexes = build_multi_index(self.path)
+        return self._indexes
+
+    def _reader(self):
+        from repro.io.bam import BamReader
+
+        # One reader per (process, thread): forked children must not
+        # share the parent's file descriptor offset.
+        key = os.getpid()
+        reader = getattr(self._local, "reader", None)
+        if reader is None or getattr(self._local, "pid", None) != key:
+            reader = BamReader(self.path)  # independent reader per worker
+            self._local.reader = reader
+            self._local.pid = key
+        return reader
+
+    _NO_READS = object()
+
+    def _seek_offset(self, chunk: Region):
+        """Virtual offset to scan ``chunk`` from; ``None`` means "the
+        first record" (no index needed); ``_NO_READS`` means the contig
+        has no records at all."""
+        if self.contigs and chunk.chrom == self.contigs[0][0] and chunk.start == 0:
+            return None
+        index = self._ensure_indexes().get(chunk.chrom)
+        if index is None:
+            return self._NO_READS
+        return index.query(chunk.start)
+
+    def columns_for(
+        self,
+        chunk: Region,
+        tracer: Optional[Tracer] = None,
+        worker: int = 0,
+    ) -> List[PileupColumn]:
+        trc = tracer or Tracer()
+        offset = self._seek_offset(chunk)
+        if offset is self._NO_READS:
+            return []
+        reader = self._reader()
+        chunk_rank = self._rank.get(chunk.chrom)
+        if chunk_rank is None:
+            raise ValueError(
+                f"contig {chunk.chrom!r} is not in the BAM header"
+            )
+        t_dec0 = reader._bgzf.time_decompress
+        t0 = time.perf_counter()
+        if offset is None:
+            reader.rewind()
+        else:
+            reader.seek(offset)
+
+        def reads():
+            while True:
+                rec = reader.read_record()
+                if rec is None:
+                    return
+                if rec.rname != chunk.chrom:
+                    # Sorted BAM: a later contig means we are done; an
+                    # earlier one (only possible after a rewind) is
+                    # skipped until our contig's block starts.
+                    if self._rank.get(rec.rname, len(self._rank)) > chunk_rank:
+                        return
+                    continue
+                if rec.pos >= chunk.end:
+                    return
+                yield rec
+
+        columns = list(
+            pileup(
+                reads(),
+                self._reference_for(chunk.chrom),
+                chunk,
+                self.pileup_config,
+            )
+        )
+        t1 = time.perf_counter()
+        dec = reader._bgzf.time_decompress - t_dec0
+        # Attribute inflation time to DECOMPRESS and the remainder of
+        # the read+pileup phase to BAM_ITER, as HPC-Toolkit would.
+        trc.record(worker, Category.DECOMPRESS, t0, t0 + dec)
+        trc.record(worker, Category.BAM_ITER, t0 + dec, t1)
+        return columns

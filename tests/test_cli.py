@@ -196,7 +196,89 @@ class TestCall:
         assert rc == 2
 
 
+class TestNewCallFlags:
+    def test_output_format_jsonl(self, workspace):
+        import json
+
+        out = workspace / "calls.jsonl"
+        rc = main(
+            [
+                "call", str(workspace / "sample.bam"),
+                "--reference", str(workspace / "ref.fa"),
+                "--out", str(out),
+                "--output-format", "jsonl",
+            ]
+        )
+        assert rc == 0
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert lines and all("chrom" in d and "af" in d for d in lines)
+
+    def test_stats_json(self, workspace):
+        import json
+
+        out = workspace / "calls_sj.vcf"
+        stats = workspace / "stats.json"
+        rc = main(
+            [
+                "call", str(workspace / "sample.bam"),
+                "--reference", str(workspace / "ref.fa"),
+                "--out", str(out),
+                "--stats-json", str(stats),
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(stats.read_text())
+        assert payload["stats"]["columns_seen"] > 0
+        assert payload["n_pass"] <= payload["n_calls"]
+
+    def test_all_contigs_single_contig_matches_default(self, workspace):
+        default = workspace / "calls_def.vcf"
+        allctg = workspace / "calls_all.vcf"
+        main(
+            [
+                "call", str(workspace / "sample.bam"),
+                "--reference", str(workspace / "ref.fa"),
+                "--out", str(default),
+            ]
+        )
+        rc = main(
+            [
+                "call", str(workspace / "sample.bam"),
+                "--reference", str(workspace / "ref.fa"),
+                "--out", str(allctg),
+                "--all-contigs",
+            ]
+        )
+        assert rc == 0
+        assert default.read_bytes() == allctg.read_bytes()
+
+
 class TestCompareUpset:
+    @pytest.fixture(scope="class")
+    def handmade_vcfs(self, tmp_path_factory):
+        """Small VCFs with controlled PASS / failing records."""
+        from repro.io.vcf import VcfRecord, write_vcf
+
+        root = tmp_path_factory.mktemp("cmp")
+
+        def rec(pos, filt="PASS"):
+            return VcfRecord(
+                chrom="c", pos=pos, ref="A", alt="T", qual=60.0, filter=filt
+            )
+
+        paths = {}
+        specs = {
+            "a": [rec(1), rec(2), rec(9, filt="sb")],
+            "b": [rec(1), rec(5)],
+            # Same PASS/'.' set as "a": the sb-failing record is
+            # replaced by a dot-filtered record at another position.
+            "a_like": [rec(1), rec(2, filt="."), rec(7, filt="min_dp")],
+        }
+        for name, records in specs.items():
+            paths[name] = root / f"{name}.vcf"
+            write_vcf(paths[name], records)
+        return paths
+
     def test_compare_identical(self, workspace, capsys):
         rc = main(
             ["compare", str(workspace / "calls2.vcf"), str(workspace / "calls2.vcf")]
@@ -234,6 +316,50 @@ class TestCompareUpset:
             ]
         )
         assert rc == 2
+        assert "--labels count" in capsys.readouterr().err
+
+    def test_compare_different_sets_exit_1(self, handmade_vcfs, capsys):
+        rc = main(["compare", str(handmade_vcfs["a"]), str(handmade_vcfs["b"])])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "shared" in out
+
+    def test_compare_ignores_failing_filters(self, handmade_vcfs, capsys):
+        """Only PASS and '.' records count: 'a' and 'a_like' differ in
+        their failing records but share the same effective set."""
+        rc = main(
+            ["compare", str(handmade_vcfs["a"]), str(handmade_vcfs["a_like"])]
+        )
+        assert rc == 0
+        assert "jaccard 1.000" in capsys.readouterr().out
+
+    def test_upset_default_labels_are_paths(self, handmade_vcfs, capsys):
+        rc = main(
+            ["upset", str(handmade_vcfs["a"]), str(handmade_vcfs["b"])]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "a.vcf" in out and "b.vcf" in out
+
+    def test_upset_excludes_failing_filters(self, handmade_vcfs, capsys):
+        rc = main(
+            [
+                "upset", str(handmade_vcfs["a"]),
+                "--labels", "only",
+            ]
+        )
+        assert rc == 0
+        # Two of the three records pass the PASS/'.' filter.
+        import re
+
+        assert re.search(r"only\s+2\b", capsys.readouterr().out)
+
+    def test_upset_single_vcf_matching_label_ok(self, handmade_vcfs, capsys):
+        rc = main(
+            ["upset", str(handmade_vcfs["b"]), "--labels", "bee"]
+        )
+        assert rc == 0
+        assert "bee" in capsys.readouterr().out
 
 
 class TestLegacyParallelFlag:

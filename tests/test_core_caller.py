@@ -130,3 +130,28 @@ class TestFilters:
         caller = VariantCaller(filter_policy=None)
         result = caller.call_sample(sample)
         assert all(c.filter == "PASS" for c in result.calls)
+
+    def test_finalise_does_not_mutate_input(self, sample):
+        """Regression: finalise used to overwrite CallResult.calls in
+        place, silently corrupting callers holding the raw result."""
+        from repro.core.filters import DynamicFilterPolicy
+
+        caller = VariantCaller(
+            filter_policy=DynamicFilterPolicy(min_depth=10_000)
+        )
+        raw = caller.call_sample(sample, apply_filters=False)
+        before = list(raw.calls)
+        filtered = caller.finalise(raw)
+        assert filtered is not raw
+        assert filtered.calls is not raw.calls
+        assert raw.calls == before
+        assert all(c.filter == "PASS" for c in raw.calls)
+        # The filtered copy carries the new labels (everything fails
+        # min_dp at 200x) while sharing the stats object.
+        assert all("min_dp" in c.filter for c in filtered.calls)
+        assert filtered.stats is raw.stats
+
+    def test_finalise_without_policy_is_identity(self, sample):
+        caller = VariantCaller(filter_policy=None)
+        raw = caller.call_sample(sample, apply_filters=False)
+        assert caller.finalise(raw) is raw
