@@ -14,6 +14,13 @@ measurements document the repair:
   while reporting the wall-clock ratio (smaller, since pileup and the
   exact DP are shared).
 
+* ``test_columnar_pileup_screen_speedup`` -- the whole pileup->screen
+  stage: the PR 2 path (per-column pileup objects re-gathered by the
+  batched engine) against the columnar ``ColumnBatch`` spine
+  (structure-of-arrays pileup fed natively to ``screen_batch``), on a
+  screened-out-heavy workload.  The acceptance bar is 2x over the
+  PR 2 baseline.
+
 Run: ``pytest benchmarks/bench_batched.py --benchmark-only``
 """
 
@@ -22,11 +29,19 @@ import time
 import numpy as np
 import pytest
 
-from repro.core.batched import GUARD_BAND, batch_margins, qual_prob_table
+from repro.core.batched import (
+    GUARD_BAND,
+    batch_margins,
+    qual_prob_table,
+    screen_batch,
+)
 from repro.core.caller import VariantCaller
 from repro.core.config import CallerConfig
 from repro.core.model import allele_error_probabilities, candidate_alleles
-from repro.pileup.vectorized import pileup_sample
+from repro.core.results import RunStats
+from repro.io.regions import Region
+from repro.pileup.column import PileupColumn
+from repro.pileup.vectorized import pileup_sample, pileup_sample_batch
 from repro.stats.approximation import (
     poisson_tail_approx,
     poisson_tail_approx_batch,
@@ -176,6 +191,159 @@ def test_screening_stage_speedup(benchmark, screening_sample):
     else:
         assert speedup >= 3.0, (
             f"screening speedup {speedup:.2f}x below the 3x bar"
+        )
+
+
+def _pr2_pileup_columns(sample):
+    """The PR 2 pileup path, verbatim: flatten the read matrix, mask,
+    stable-sort by position, find column boundaries with ``np.unique``
+    (a second sort) and slice one ``PileupColumn`` object per
+    position.  This is the baseline the columnar spine replaces."""
+    from repro.pileup.engine import PileupConfig
+
+    cfg = PileupConfig()
+    region = Region(sample.genome.name, 0, len(sample.genome))
+    reference = sample.genome.sequence
+    starts, codes, quals, reverse = (
+        sample.starts,
+        sample.codes,
+        sample.quals,
+        sample.reverse,
+    )
+    rl = codes.shape[1]
+    positions = (starts[:, None] + np.arange(rl)[None, :]).ravel()
+    flat_codes = codes.ravel()
+    flat_quals = quals.ravel()
+    flat_rev = np.repeat(reverse, rl)
+    mask = (
+        (positions >= region.start)
+        & (positions < region.end)
+        & (flat_quals >= cfg.min_baseq)
+    )
+    positions = positions[mask]
+    flat_codes = flat_codes[mask]
+    flat_quals = flat_quals[mask]
+    flat_rev = flat_rev[mask]
+    order = np.argsort(positions, kind="stable")
+    positions = positions[order]
+    flat_codes = flat_codes[order]
+    flat_quals = flat_quals[order]
+    flat_rev = flat_rev[order]
+    unique_pos, first_idx = np.unique(positions, return_index=True)
+    boundaries = np.append(first_idx, positions.size)
+    mapq_u8 = np.uint8(min(sample.mapq, 255))
+    for i, pos in enumerate(unique_pos):
+        lo, hi = int(boundaries[i]), int(boundaries[i + 1])
+        yield PileupColumn(
+            chrom=region.chrom,
+            pos=int(pos),
+            ref_base=reference[int(pos)].upper(),
+            base_codes=flat_codes[lo:hi],
+            quals=flat_quals[lo:hi],
+            reverse=flat_rev[lo:hi],
+            mapqs=np.full(hi - lo, mapq_u8, dtype=np.uint8),
+        )
+
+
+def test_columnar_pileup_screen_speedup(benchmark, screening_sample):
+    """The columnar acceptance bar: pileup->screen >= 2x over PR 2.
+
+    Baseline: PR 2's per-column pileup objects pushed through the
+    batched engine's own per-column gather and screen (the shipped
+    ``_gather`` / ``_screen``, which remain the loose-column path).
+    Columnar: ``pileup_sample_batch`` -> ``screen_batch``, no
+    per-column objects.  Both must reach identical skip decisions and
+    identical surviving (position, allele) pairs.
+    """
+    from repro.core.batched import _gather, _screen
+
+    sample = screening_sample
+    config = CallerConfig.improved()
+    corrected_alpha = config.corrected_alpha(len(sample.genome))
+
+    def baseline():
+        stats = RunStats()
+        screened, direct = _gather(
+            _pr2_pileup_columns(sample), config, stats
+        )
+        skipped = 0
+        survivors = [
+            (p.column.pos, p.alt_code, p.alt_count) for p in direct
+        ]
+        if screened:
+            skip = _screen(screened, corrected_alpha, config, stats)
+            skipped = int(skip.sum())
+            survivors.extend(
+                (p.column.pos, p.alt_code, p.alt_count)
+                for p, s in zip(screened, skip)
+                if not s
+            )
+        return stats, skipped, survivors
+
+    def columnar():
+        stats = RunStats()
+        batch = pileup_sample_batch(sample)
+        triples = screen_batch(batch, corrected_alpha, config, stats)
+        survivors = [
+            (int(batch.positions[i]), code, count)
+            for i, code, count in triples
+        ]
+        return stats, stats.exact_skipped, survivors
+
+    def measure():
+        baseline()  # warm both paths (allocator, caches, LUTs)
+        columnar()
+        t_base, base = _best_of(baseline)
+        t_col, col = _best_of(columnar)
+        return t_base, t_col, base, col
+
+    t_base, t_col, base, col = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    base_stats, base_skipped, base_survivors = base
+    col_stats, col_skipped, col_survivors = col
+    assert base_skipped == col_skipped, "skip censuses diverged"
+    assert sorted(base_survivors) == sorted(col_survivors)
+    assert base_stats.columns_seen == col_stats.columns_seen
+    assert base_stats.tests_run == col_stats.tests_run
+    # Anchor to the shipped engine: the columnar pipeline must reach
+    # the same skip census end to end.
+    engine_result = VariantCaller(
+        CallerConfig.improved(engine="batched")
+    ).call_sample(sample)
+    assert engine_result.stats.exact_skipped == col_skipped
+    speedup = t_base / t_col if t_col > 0 else float("inf")
+    lines = [
+        "Pileup->screen stage: PR 2 per-column path vs columnar spine",
+        f"workload: {sample.mean_depth:.0f}x sample, "
+        f"{base_stats.columns_seen} columns, "
+        f"{base_stats.tests_run} (column, allele) pairs, "
+        f"{col_skipped} screened out",
+        "",
+        f"PR 2 per-column : {t_base * 1e3:>8.2f} ms",
+        f"columnar batch  : {t_col * 1e3:>8.2f} ms",
+        f"speedup         : {speedup:>8.1f}x (acceptance bar: 2x)",
+    ]
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    write_report("batched_columnar.txt", "\n".join(lines))
+    write_stats_report(
+        "batched_columnar_stats.json",
+        {"pr2_per_column": base_stats, "columnar": col_stats},
+        extra={
+            "t_pr2_s": round(t_base, 6),
+            "t_columnar_s": round(t_col, 6),
+            "speedup": round(speedup, 3),
+        },
+    )
+    # As with the screening bar above, wall-clock ratios on the tiny
+    # FAST profile are too noisy for a hard multiple on shared CI.
+    if FAST:
+        assert speedup > 1.0, (
+            f"columnar pileup->screen slower than PR 2 ({speedup:.2f}x)"
+        )
+    else:
+        assert speedup >= 2.0, (
+            f"columnar speedup {speedup:.2f}x below the 2x bar"
         )
 
 

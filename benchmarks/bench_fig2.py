@@ -15,7 +15,7 @@ import pytest
 from repro.parallel.openmp import ParallelCallOptions, parallel_call
 from repro.parallel.trace import Tracer, imbalance_metrics, render_timeline
 
-from conftest import write_report
+from conftest import write_report, write_stats_report
 
 N_WORKERS = 8
 
@@ -85,3 +85,17 @@ def test_fig2_trace_report(benchmark, hotspot_sample):
         # Paper observation (ii): probability + pileup dominate.
         assert m["share_prob"] + m["share_bam_iter"] > 0.9
     write_report("fig2.txt", "\n".join(lines))
+    write_stats_report(
+        "fig2_stats.json",
+        {
+            "static_coarse": static_res.stats,
+            "dynamic_fine": dyn_res.stats,
+        },
+        extra={
+            "imbalance": {
+                "static_coarse": imbalance_metrics(static_tr.events),
+                "dynamic_fine": imbalance_metrics(dyn_tr.events),
+            },
+            "n_workers": N_WORKERS,
+        },
+    )

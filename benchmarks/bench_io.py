@@ -7,6 +7,7 @@ this Python reproduction, and guard against codec regressions.
 """
 
 import io
+import time
 
 import pytest
 
@@ -14,7 +15,14 @@ from repro.io.bam import BamReader, BamWriter
 from repro.io.bgzf import BgzfReader, BgzfWriter
 from repro.io.regions import Region
 from repro.pileup.engine import PileupConfig, pileup
-from repro.pileup.vectorized import pileup_sample
+from repro.pileup.vectorized import pileup_sample, pileup_sample_batch
+
+from conftest import write_stats_report
+
+#: Cross-test collector for the machine-readable report written by
+#: ``test_write_io_stats_report`` (file-scoped; pytest runs the tests
+#: in definition order).
+_IO_STATS: dict = {}
 
 
 @pytest.fixture(scope="module")
@@ -46,6 +54,11 @@ def test_bgzf_compress(benchmark, payload):
 
     size = benchmark(compress)
     benchmark.extra_info["compressed_mb"] = round(size / 1e6, 2)
+    _IO_STATS["bgzf_compress"] = {
+        "payload_mb": round(len(payload) / 1e6, 2),
+        "compressed_mb": round(size / 1e6, 2),
+        "best_s": round(benchmark.stats.stats.min, 6),
+    }
 
 
 def test_bgzf_decompress(benchmark, payload):
@@ -59,6 +72,10 @@ def test_bgzf_decompress(benchmark, payload):
 
     n = benchmark(decompress)
     assert n == len(payload)
+    _IO_STATS["bgzf_decompress"] = {
+        "payload_mb": round(len(payload) / 1e6, 2),
+        "best_s": round(benchmark.stats.stats.min, 6),
+    }
 
 
 def test_bam_decode(benchmark, bam_bytes):
@@ -68,6 +85,10 @@ def test_bam_decode(benchmark, bam_bytes):
 
     n = benchmark.pedantic(decode, rounds=2, iterations=1)
     benchmark.extra_info["records"] = n
+    _IO_STATS["bam_decode"] = {
+        "records": n,
+        "best_s": round(benchmark.stats.stats.min, 6),
+    }
 
 
 def test_bam_encode(benchmark, table1_workload):
@@ -86,6 +107,10 @@ def test_bam_encode(benchmark, table1_workload):
 
     benchmark.pedantic(encode, rounds=2, iterations=1)
     benchmark.extra_info["records"] = len(reads)
+    _IO_STATS["bam_encode"] = {
+        "records": len(reads),
+        "best_s": round(benchmark.stats.stats.min, 6),
+    }
 
 
 def test_pileup_streaming(benchmark, table1_workload):
@@ -100,7 +125,11 @@ def test_pileup_streaming(benchmark, table1_workload):
                               PileupConfig())
         )
 
-    benchmark.pedantic(run, rounds=1, iterations=1)
+    n = benchmark.pedantic(run, rounds=1, iterations=1)
+    _IO_STATS["pileup_streaming"] = {
+        "columns": n,
+        "best_s": round(benchmark.stats.stats.min, 6),
+    }
 
 
 def test_pileup_vectorized(benchmark, table1_workload):
@@ -111,4 +140,44 @@ def test_pileup_vectorized(benchmark, table1_workload):
     def run():
         return sum(1 for _ in pileup_sample(sample, region))
 
-    benchmark.pedantic(run, rounds=2, iterations=1)
+    n = benchmark.pedantic(run, rounds=2, iterations=1)
+    _IO_STATS["pileup_vectorized"] = {
+        "columns": n,
+        "best_s": round(benchmark.stats.stats.min, 6),
+    }
+
+
+def test_pileup_columnar_batch(benchmark, table1_workload):
+    """The ColumnBatch spine: same pileup as ``test_pileup_vectorized``
+    but returned as one structure-of-arrays batch, no per-column
+    views."""
+    genome, _, samples = table1_workload
+    sample = samples[2000]
+    region = Region(genome.name, 0, len(genome))
+
+    def run():
+        return pileup_sample_batch(sample, region).n_columns
+
+    n = benchmark.pedantic(run, rounds=2, iterations=1)
+    _IO_STATS["pileup_columnar_batch"] = {
+        "columns": n,
+        "best_s": round(benchmark.stats.stats.min, 6),
+    }
+
+
+def test_write_io_stats_report(table1_workload):
+    """Persist the collected substrate numbers machine-readably (runs
+    last in this file; the perf trajectory across PRs reads these)."""
+    assert _IO_STATS, "collector never populated"
+    # Streaming and columnar pileup must agree on the column census
+    # before their timings are comparable.
+    if "pileup_streaming" in _IO_STATS and "pileup_columnar_batch" in _IO_STATS:
+        assert (
+            _IO_STATS["pileup_streaming"]["columns"]
+            == _IO_STATS["pileup_columnar_batch"]["columns"]
+        )
+    write_stats_report(
+        "io_stats.json",
+        _IO_STATS,
+        extra={"timestamp": time.strftime("%Y-%m-%dT%H:%M:%S")},
+    )

@@ -13,7 +13,7 @@ import pytest
 
 from repro.parallel.openmp import ParallelCallOptions, parallel_call
 
-from conftest import FAST, write_report
+from conftest import FAST, write_report, write_stats_report
 
 WORKER_COUNTS = [1, 2, 4, 8]
 
@@ -54,10 +54,16 @@ def test_scaling_report(benchmark, hotspot_sample):
             if reference is None:
                 reference = result.keys()
             assert result.keys() == reference
-            rows.append((workers, wall))
+            rows.append((workers, wall, result.stats))
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_stats_report(
+        "scaling_stats.json",
+        {f"workers{workers}": stats for workers, _, stats in rows},
+        extra={"wall_s": {workers: round(wall, 6) for workers, wall, _ in rows}},
+    )
+    rows = [(workers, wall) for workers, wall, _ in rows]
     t1 = rows[0][1]
     lines = [
         "Strong scaling of the parallel caller (process backend, "

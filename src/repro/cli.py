@@ -91,6 +91,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_call.add_argument("--margin", type=float, default=0.01)
     p_call.add_argument("--min-approx-depth", type=int, default=100)
     p_call.add_argument("--bonferroni", type=int, default=None)
+    p_call.add_argument(
+        "--min-mapq",
+        type=int,
+        default=0,
+        help="drop reads mapped below this quality (default 0, "
+        "LoFreq's parity setting)",
+    )
+    p_call.add_argument(
+        "--min-baseq",
+        type=int,
+        default=6,
+        help="drop individual bases below this quality (default 6, "
+        "the LoFreq default)",
+    )
+    p_call.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-column depth cap; extra reads are counted but their "
+        "bases dropped (default: LoFreq's 1,000,000)",
+    )
     p_call.add_argument("--workers", type=int, default=1)
     p_call.add_argument(
         "--schedule", choices=["static", "dynamic", "guided"], default="dynamic"
@@ -205,6 +227,7 @@ def _cmd_call(args: argparse.Namespace) -> int:
     from repro.core import CallerConfig
     from repro.io.bam import BamReader
     from repro.io.fasta import load_reference
+    from repro.pileup.engine import DEFAULT_MAX_DEPTH, PileupConfig
     from repro.pipeline import (
         BamSource,
         ExecutionPolicy,
@@ -257,7 +280,20 @@ def _cmd_call(args: argparse.Namespace) -> int:
         sinks = [VcfSink(args.out, contigs=contigs)]
     if args.stats_json:
         sinks.append(StatsSink(args.stats_json))
-    source = BamSource(args.bam, references, regions=regions)
+    try:
+        pileup_config = PileupConfig(
+            min_mapq=args.min_mapq,
+            min_baseq=args.min_baseq,
+            max_depth=(
+                DEFAULT_MAX_DEPTH if args.max_depth is None else args.max_depth
+            ),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    source = BamSource(
+        args.bam, references, regions=regions, pileup_config=pileup_config
+    )
     t0 = time.perf_counter()
     result = Pipeline(source, config=config, policy=policy, sinks=sinks).run()
     elapsed = time.perf_counter() - t0

@@ -55,7 +55,7 @@ from repro.core.model import (
 )
 from repro.core.results import ColumnDecision, RunStats, VariantCall
 from repro.core.workflow import exact_allele_decision
-from repro.pileup.column import PileupColumn
+from repro.pileup.column import ColumnBatch, PileupColumn
 from repro.stats.approximation import (
     poisson_tail_approx,
     poisson_tail_approx_batch,
@@ -63,9 +63,11 @@ from repro.stats.approximation import (
 
 __all__ = [
     "GUARD_BAND",
+    "evaluate_batch",
     "evaluate_columns_batched",
     "batch_margins",
     "qual_prob_table",
+    "screen_batch",
 ]
 
 #: Corrected p-hat values within this distance of the skip threshold
@@ -250,6 +252,195 @@ def _screen(
         margin = config.margin_for_depth(pair.column.depth)
         skip[i] = corrected >= config.alpha + margin
     return skip
+
+
+def screen_batch(
+    batch: ColumnBatch,
+    corrected_alpha: float,
+    config: CallerConfig,
+    stats: RunStats,
+) -> List[tuple]:
+    """The columnar gather + screen: coverage / candidate gating and
+    the vectorised Poisson-tail skip over a whole
+    :class:`~repro.pileup.column.ColumnBatch`, as pure array slicing.
+
+    No per-column Python object is built here -- per-column base
+    counts, quality histograms and candidate gating all come from
+    bincounts over the batch's flat arrays, so a column whose every
+    allele is screened out costs no object construction at all.  Only
+    the guard-band re-decisions touch a single column's quality slice.
+
+    Args:
+        batch: the columns under test, in stored order.
+        corrected_alpha: per-test raw-p-value threshold.
+        config: workflow parameters; ``config.merge_mapq`` callers
+            must use the per-column path instead (mapping-quality
+            merging is not a pure function of the base quality).
+        stats: counters, mutated in place with the same censuses the
+            per-column gather would record.
+
+    Returns:
+        Surviving ``(column index, alt_code, alt_count)`` triples --
+        the pairs that must still run the exact DP.
+    """
+    n = batch.n_columns
+    stats.columns_seen += n
+    if n == 0:
+        return []
+    depths = batch.depths
+    low = depths < config.min_coverage
+    stats.record_decisions(ColumnDecision.LOW_COVERAGE, int(low.sum()))
+
+    # One fused bincount yields both per-column histograms the screen
+    # needs: (column, code, phred) keys, reduced to base counts and
+    # quality histograms.  32-bit keys keep the pass memory-bound on
+    # half the bytes; they fit for every batch below ~1.6M columns
+    # (far above evaluate_batch's BATCH_COLUMNS slices), and 64-bit
+    # keys keep direct callers with huge batches correct.
+    key_dtype = np.int32 if n * 1280 <= np.iinfo(np.int32).max else np.int64
+    col_of = np.repeat(np.arange(n, dtype=key_dtype), depths)
+    screen_possible = config.use_approximation and bool(
+        (depths >= config.approx_min_depth).any()
+    )
+    if screen_possible:
+        key = col_of * key_dtype(1280)
+        key += batch.base_codes.astype(key_dtype) * key_dtype(256)
+        key += batch.quals
+        hist = np.bincount(key, minlength=n * 1280).reshape(n, 5, 256)
+        counts = hist.sum(axis=2)
+        qhist = hist.sum(axis=1)
+    else:
+        key = col_of * key_dtype(5)
+        key += batch.base_codes
+        counts = np.bincount(key, minlength=n * 5).reshape(n, 5)
+        qhist = None
+    cand = counts[:, :4] > 0
+    ref_codes = batch.ref_codes.astype(np.int64)
+    acgt_ref = ref_codes < 4
+    cand[np.nonzero(acgt_ref)[0], ref_codes[acgt_ref]] = False
+    cand[low] = False
+    n_cand = cand.sum(axis=1)
+    stats.record_decisions(
+        ColumnDecision.NO_CANDIDATE, int(((~low) & (n_cand == 0)).sum())
+    )
+    stats.tests_run += int(n_cand.sum())
+
+    pair_col, pair_code = np.nonzero(cand)
+    if pair_col.size == 0:
+        return []
+    pair_count = counts[pair_col, pair_code]
+    if config.use_approximation:
+        screen_col = (~low) & (depths >= config.approx_min_depth)
+        is_screen = screen_col[pair_col]
+    else:
+        is_screen = np.zeros(pair_col.size, dtype=bool)
+    stats.approx_invocations += int(is_screen.sum())
+
+    keep = ~is_screen
+    if is_screen.any():
+        table = qual_prob_table()
+        # Per-column lambda from the quality histogram: counts per
+        # (column, phred) dotted with the 256-entry probability table.
+        # Same histogram lambda as the per-column gather; the guard
+        # band below re-decides anything within numerical shouting
+        # distance of the threshold.
+        lam_col = qhist @ table
+        s_idx = np.nonzero(is_screen)[0]
+        s_col = pair_col[s_idx]
+        ks = pair_count[s_idx].astype(np.float64)
+        p_hat = poisson_tail_approx_batch(ks, lam_col[s_col])
+        corrected = np.minimum(1.0, p_hat / corrected_alpha * config.alpha)
+        thresholds = config.alpha + batch_margins(
+            depths[s_col].astype(np.float64), config
+        )
+        skip = corrected >= thresholds
+        near = np.abs(corrected - thresholds) < GUARD_BAND
+        offsets = batch.offsets
+        for i in np.nonzero(near)[0]:
+            ci = int(s_col[i])
+            probs = table[batch.quals[offsets[ci] : offsets[ci + 1]]]
+            exact_p_hat = poisson_tail_approx(int(ks[i]), probs)
+            exact_corrected = min(
+                1.0, exact_p_hat / corrected_alpha * config.alpha
+            )
+            margin = config.margin_for_depth(int(depths[ci]))
+            skip[i] = exact_corrected >= config.alpha + margin
+        n_skip = int(skip.sum())
+        stats.exact_skipped += n_skip
+        stats.record_decisions(ColumnDecision.SKIPPED_APPROX, n_skip)
+        keep[s_idx[~skip]] = True
+    sel = np.nonzero(keep)[0]
+    return list(
+        zip(
+            pair_col[sel].tolist(),
+            pair_code[sel].tolist(),
+            pair_count[sel].tolist(),
+        )
+    )
+
+
+def evaluate_batch(
+    batch: ColumnBatch,
+    corrected_alpha: float,
+    config: CallerConfig,
+    stats: RunStats,
+) -> List[VariantCall]:
+    """Evaluate one :class:`~repro.pileup.column.ColumnBatch` natively.
+
+    The columnar twin of :func:`evaluate_columns_batched`: the gather
+    pass is array slicing over the batch (:func:`screen_batch`), so
+    screened-out columns never materialise any per-column Python
+    object; only exact-DP survivors are lifted to
+    :class:`PileupColumn` (one shared lift per surviving column) and
+    run through the identical
+    :func:`~repro.core.workflow.exact_allele_decision`.  Calls,
+    decisions and censuses match the per-column path -- and therefore
+    the streaming engine -- exactly.
+
+    ``merge_mapq`` configurations fall back to the per-column gather
+    (mapping-quality merging needs every read's two qualities up
+    front, which defeats the columnar screen).
+    """
+    if config.merge_mapq:
+        return evaluate_columns_batched(
+            batch.columns(), corrected_alpha, config, stats
+        )
+    if batch.n_columns > BATCH_COLUMNS:
+        # Bound the screen's per-column histograms (256 bins each) to
+        # a constant number of columns, exactly like the loose-column
+        # buffering path.
+        calls: List[VariantCall] = []
+        for lo in range(0, batch.n_columns, BATCH_COLUMNS):
+            calls.extend(
+                evaluate_batch(
+                    batch.slice_columns(
+                        lo, min(lo + BATCH_COLUMNS, batch.n_columns)
+                    ),
+                    corrected_alpha,
+                    config,
+                    stats,
+                )
+            )
+        return calls
+    survivors = screen_batch(batch, corrected_alpha, config, stats)
+    calls: List[VariantCall] = []
+    jobs: dict = {}
+    for col_idx, alt_code, alt_count in survivors:
+        job = jobs.get(col_idx)
+        if job is None:
+            jobs[col_idx] = job = _ColumnJob(batch.column(col_idx))
+        outcome = exact_allele_decision(
+            job.column,
+            alt_code,
+            alt_count,
+            job.probs,
+            corrected_alpha,
+            config,
+            stats,
+        )
+        if outcome.call is not None:
+            calls.append(outcome.call)
+    return calls
 
 
 def evaluate_columns_batched(

@@ -21,18 +21,21 @@ driver.
 
 from __future__ import annotations
 
-import itertools
 import time
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Union
 
-from repro.core.batched import BATCH_COLUMNS, evaluate_columns_batched
+from repro.core.batched import (
+    BATCH_COLUMNS,
+    evaluate_batch,
+    evaluate_columns_batched,
+)
 from repro.core.config import CallerConfig
 from repro.core.filters import DynamicFilterPolicy, filter_once
 from repro.core.results import CallResult, RunStats, VariantCall
 from repro.core.workflow import evaluate_column
 from repro.io.records import AlignedRead
 from repro.io.regions import Region
-from repro.pileup.column import PileupColumn
+from repro.pileup.column import ColumnBatch, PileupColumn
 from repro.pileup.engine import PileupConfig
 
 __all__ = ["VariantCaller"]
@@ -66,7 +69,7 @@ class VariantCaller:
 
     def call_columns(
         self,
-        columns: Iterable[PileupColumn],
+        columns: Union[Iterable[PileupColumn], Iterable[ColumnBatch], ColumnBatch],
         region_length: int,
         *,
         apply_filters: bool = True,
@@ -74,7 +77,11 @@ class VariantCaller:
         """Run the workflow over pre-built pileup columns.
 
         Args:
-            columns: pileup columns, any order (calls are re-sorted).
+            columns: the work unit -- per-column
+                :class:`PileupColumn` objects, structure-of-arrays
+                :class:`~repro.pileup.column.ColumnBatch` spans, a
+                single batch, or any mix, in any order (calls are
+                re-sorted).
             region_length: Bonferroni scope -- the number of reference
                 positions this run is responsible for.
             apply_filters: run the post-call filter stage (disable when
@@ -82,41 +89,67 @@ class VariantCaller:
                 the paper's OpenMP fix).
 
         The engine is picked by ``config.engine``: ``"streaming"``
-        walks the columns one allele at a time; ``"batched"`` screens
-        the whole chunk in one vectorised pass
-        (:mod:`repro.core.batched`) before running the identical exact
-        stage on the survivors.
+        walks the columns one allele at a time (batches are unpacked
+        through their per-column view); ``"batched"`` screens whole
+        chunks in vectorised passes (:mod:`repro.core.batched`) before
+        running the identical exact stage on the survivors --
+        :class:`ColumnBatch` inputs feed the screen natively, loose
+        columns are gathered into bounded slices first.
         """
         stats = RunStats()
         corrected_alpha = self.config.corrected_alpha(region_length)
         calls: List[VariantCall] = []
+        if isinstance(columns, ColumnBatch):
+            columns = (columns,)
         t0 = time.perf_counter()
         if self.config.engine == "batched":
-            # Consume the column stream in bounded slices so memory
+            # Loose columns are consumed in bounded slices so memory
             # stays proportional to the batch, not the region (the
-            # parallel driver already feeds chunk-sized lists).  The
-            # islice stays outside the timer, mirroring the streaming
-            # loop where generator advancement is not charged to
-            # time_stats.
+            # parallel driver already feeds chunk-sized units).  The
+            # buffering stays outside the timer, mirroring the
+            # streaming loop where generator advancement is not
+            # charged to time_stats.
             iterator = iter(columns)
-            while True:
-                batch = list(itertools.islice(iterator, BATCH_COLUMNS))
-                if not batch:
-                    break
+            buffer: List[PileupColumn] = []
+
+            def flush() -> None:
                 t_batch = time.perf_counter()
                 calls.extend(
                     evaluate_columns_batched(
-                        batch, corrected_alpha, self.config, stats
+                        buffer, corrected_alpha, self.config, stats
                     )
                 )
                 stats.time_stats += time.perf_counter() - t_batch
+                buffer.clear()
+
+            for item in iterator:
+                if isinstance(item, ColumnBatch):
+                    if buffer:
+                        flush()
+                    t_batch = time.perf_counter()
+                    calls.extend(
+                        evaluate_batch(
+                            item, corrected_alpha, self.config, stats
+                        )
+                    )
+                    stats.time_stats += time.perf_counter() - t_batch
+                    continue
+                buffer.append(item)
+                if len(buffer) >= BATCH_COLUMNS:
+                    flush()
+            if buffer:
+                flush()
         else:
-            for column in columns:
-                t_col = time.perf_counter()
-                calls.extend(
-                    evaluate_column(column, corrected_alpha, self.config, stats)
-                )
-                stats.time_stats += time.perf_counter() - t_col
+            for item in columns:
+                unit = item.columns() if isinstance(item, ColumnBatch) else (item,)
+                for column in unit:
+                    t_col = time.perf_counter()
+                    calls.extend(
+                        evaluate_column(
+                            column, corrected_alpha, self.config, stats
+                        )
+                    )
+                    stats.time_stats += time.perf_counter() - t_col
         stats.time_total = time.perf_counter() - t0
         calls.sort(key=lambda c: (c.chrom, c.pos, c.alt))
         result = CallResult(calls=calls, stats=stats)

@@ -115,6 +115,15 @@ class RunStats:
     def record_decision(self, decision: ColumnDecision) -> None:
         self.decisions[decision.value] = self.decisions.get(decision.value, 0) + 1
 
+    def record_decisions(self, decision: ColumnDecision, count: int) -> None:
+        """Bulk form of :meth:`record_decision` for the columnar
+        engine; a zero count leaves the census untouched (no key is
+        created), exactly like zero scalar calls would."""
+        if count:
+            self.decisions[decision.value] = (
+                self.decisions.get(decision.value, 0) + int(count)
+            )
+
     def merge(self, other: "RunStats") -> "RunStats":
         """Accumulate another worker's counters into this one."""
         self.columns_seen += other.columns_seen

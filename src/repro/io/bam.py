@@ -22,7 +22,7 @@ from typing import Any, BinaryIO, Dict, Iterable, Iterator, List, Tuple, Union
 import numpy as np
 
 from repro.io.bgzf import BgzfReader, BgzfWriter
-from repro.io.cigar import CigarOp
+from repro.io.cigar import CONSUMES_QUERY, CONSUMES_REFERENCE, CigarOp
 from repro.io.records import AlignedRead, SamHeader
 
 __all__ = [
@@ -30,6 +30,7 @@ __all__ = [
     "read_bam",
     "BamWriter",
     "BamReader",
+    "aligned_base_arrays",
     "encode_record",
     "decode_record",
     "reg2bin",
@@ -179,6 +180,60 @@ def _decode_tags(data: bytes) -> Dict[str, Tuple[str, Any]]:
         else:
             raise ValueError(f"unsupported BAM tag type {typ!r}")
     return tags
+
+
+def aligned_base_arrays(
+    read: AlignedRead,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The columnar deposit path: one record's aligned bases as flat
+    arrays ``(reference positions int64, base codes uint8, quals
+    uint8)``.
+
+    CIGAR-expanded in O(#operations) array slices -- no per-base
+    Python tuples -- with semantics matching the streaming pileup's
+    deposit loop exactly: only operations consuming both query and
+    reference contribute; base codes follow
+    ``BASE_TO_CODE.get(char, N_CODE)`` (no case folding); a missing
+    quality string reads as all-zero qualities (which the default
+    ``min_baseq`` then drops, as in the streaming engine).
+    """
+    from repro.pileup.column import encode_read_bases
+
+    seq_codes = encode_read_bases(read.seq)
+    if read.qual.size:
+        qual = np.asarray(read.qual, dtype=np.uint8)
+    else:
+        qual = np.zeros(len(read.seq), dtype=np.uint8)
+    pos_parts: List[np.ndarray] = []
+    code_parts: List[np.ndarray] = []
+    qual_parts: List[np.ndarray] = []
+    qi = 0
+    ri = read.pos
+    for op, length in read.cigar:
+        op = CigarOp(op)
+        in_q = op in CONSUMES_QUERY
+        in_r = op in CONSUMES_REFERENCE
+        if in_q and in_r:
+            pos_parts.append(np.arange(ri, ri + length, dtype=np.int64))
+            code_parts.append(seq_codes[qi : qi + length])
+            qual_parts.append(qual[qi : qi + length])
+            qi += length
+            ri += length
+        elif in_q:
+            qi += length
+        elif in_r:
+            ri += length
+    if not pos_parts:
+        empty = np.zeros(0, dtype=np.uint8)
+        return np.zeros(0, dtype=np.int64), empty, empty.copy()
+    if len(pos_parts) == 1:
+        # The ungapped common case: zero-copy views into the record.
+        return pos_parts[0], code_parts[0], qual_parts[0]
+    return (
+        np.concatenate(pos_parts),
+        np.concatenate(code_parts),
+        np.concatenate(qual_parts),
+    )
 
 
 def encode_record(read: AlignedRead, header: SamHeader) -> bytes:

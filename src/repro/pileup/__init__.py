@@ -6,25 +6,33 @@ one reference position across all overlapping reads.  This subpackage
 is the equivalent of ``samtools mpileup``:
 
 * :mod:`repro.pileup.column` -- the :class:`PileupColumn` value type
-  with base encoding, counting and quality->probability conversion.
+  with base encoding, counting and quality->probability conversion,
+  and the structure-of-arrays :class:`ColumnBatch` span of columns
+  (the columnar pipeline's native interchange type).
 * :mod:`repro.pileup.engine` -- the streaming sweep over
   coordinate-sorted reads, with flag/quality filtering and the depth
-  cap (LoFreq defaults to 1,000,000 -- see Table I's footnote).
+  cap (LoFreq defaults to 1,000,000 -- see Table I's footnote); plus
+  the batch-emitting sweep :func:`pileup_batches`.
+* :mod:`repro.pileup.vectorized` -- bulk columnar construction from
+  read matrices and CIGAR-aware alignments.
 """
 
 from repro.pileup.column import (
     BASES,
     BASE_TO_CODE,
     CODE_TO_BASE,
+    ColumnBatch,
     PileupColumn,
 )
-from repro.pileup.engine import PileupConfig, pileup
+from repro.pileup.engine import PileupConfig, pileup, pileup_batches
 
 __all__ = [
     "BASES",
     "BASE_TO_CODE",
     "CODE_TO_BASE",
+    "ColumnBatch",
     "PileupColumn",
     "PileupConfig",
     "pileup",
+    "pileup_batches",
 ]

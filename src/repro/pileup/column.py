@@ -1,25 +1,57 @@
-"""The pileup column value type.
+"""The pileup column value types.
 
 A column stores parallel NumPy arrays (base code, base quality,
 strand, mapping quality) for every read base covering one reference
 position.  The statistics layer consumes these arrays directly, so the
 encodings are chosen for vectorised math: bases as uint8 codes 0..4,
 qualities as raw Phred uint8.
+
+:class:`ColumnBatch` is the structure-of-arrays form of a whole *span*
+of columns: one set of flat arrays for every read base in the span,
+plus per-column offsets.  It is the native interchange type of the
+columnar pipeline (BAM decode -> batched screen); per-column
+:class:`PileupColumn` objects are only materialised on demand through
+:meth:`ColumnBatch.columns` / :meth:`ColumnBatch.column`, whose views
+slice the shared flat arrays without copying.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Tuple
+from typing import Dict, Iterator, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["BASES", "BASE_TO_CODE", "CODE_TO_BASE", "PileupColumn"]
+__all__ = [
+    "BASES",
+    "BASE_TO_CODE",
+    "CODE_TO_BASE",
+    "ColumnBatch",
+    "PileupColumn",
+    "encode_read_bases",
+]
 
 BASES = "ACGTN"
 BASE_TO_CODE: Dict[str, int] = {b: i for i, b in enumerate(BASES)}
 CODE_TO_BASE: Dict[int, str] = {i: b for i, b in enumerate(BASES)}
 N_CODE = BASE_TO_CODE["N"]
+
+#: ASCII -> base code lookup, the vectorised twin of
+#: ``BASE_TO_CODE.get(char, N_CODE)``: uppercase ``ACGT`` map to 0..3,
+#: every other byte (including lowercase and ambiguity codes) to N.
+SEQ_CODE_LUT = np.full(256, N_CODE, dtype=np.uint8)
+for _base, _code in BASE_TO_CODE.items():
+    SEQ_CODE_LUT[ord(_base)] = _code
+
+
+def encode_read_bases(seq: str) -> np.ndarray:
+    """Base codes for a read sequence string, one LUT gather.
+
+    Exactly ``[BASE_TO_CODE.get(c, N_CODE) for c in seq]`` -- no
+    case-folding, matching the streaming engine's per-base lookup.
+    """
+    raw = np.frombuffer(seq.encode("ascii"), dtype=np.uint8)
+    return SEQ_CODE_LUT[raw]
 
 
 @dataclasses.dataclass
@@ -127,4 +159,184 @@ class PileupColumn:
         return (
             f"PileupColumn({self.chrom}:{self.pos + 1} ref={self.ref_base} "
             f"depth={self.depth} [{summary}])"
+        )
+
+
+@dataclasses.dataclass
+class ColumnBatch:
+    """Structure-of-arrays pileup over a span of reference positions.
+
+    All read bases of the span live in four flat parallel arrays;
+    column ``i`` owns the half-open slice
+    ``offsets[i]:offsets[i + 1]`` of each.  Empty columns are not
+    represented (mirroring the streaming engine's default), so
+    ``positions`` is the span's covered positions in increasing order.
+
+    Attributes:
+        chrom: reference name shared by every column.
+        positions: int64 per-column reference positions (0-based).
+        ref_bases: uppercase reference base per column (one string,
+            ``ref_bases[i]`` belongs to ``positions[i]``); kept as
+            characters, not codes, so ambiguity codes survive into the
+            :class:`PileupColumn` views byte-for-byte.
+        base_codes: uint8 flat base codes over all columns.
+        quals: uint8 flat Phred base qualities (parallel).
+        reverse: bool flat strand array (parallel).
+        mapqs: uint8 flat mapping qualities (parallel).
+        offsets: int64 column boundaries, length ``n_columns + 1``
+            with ``offsets[0] == 0`` and ``offsets[-1]`` the total
+            base count.
+        n_capped: int64 per-column count of reads dropped by the
+            depth cap.
+    """
+
+    chrom: str
+    positions: np.ndarray
+    ref_bases: str
+    base_codes: np.ndarray
+    quals: np.ndarray
+    reverse: np.ndarray
+    mapqs: np.ndarray
+    offsets: np.ndarray
+    n_capped: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.positions = np.asarray(self.positions, dtype=np.int64)
+        self.base_codes = np.asarray(self.base_codes, dtype=np.uint8)
+        self.quals = np.asarray(self.quals, dtype=np.uint8)
+        self.reverse = np.asarray(self.reverse, dtype=bool)
+        self.mapqs = np.asarray(self.mapqs, dtype=np.uint8)
+        self.offsets = np.asarray(self.offsets, dtype=np.int64)
+        self.n_capped = np.asarray(self.n_capped, dtype=np.int64)
+        n = self.positions.size
+        total = self.base_codes.size
+        if len(self.ref_bases) != n:
+            raise ValueError("one reference base per column required")
+        if self.offsets.shape != (n + 1,):
+            raise ValueError("offsets must have n_columns + 1 entries")
+        if n and (self.offsets[0] != 0 or self.offsets[-1] != total):
+            raise ValueError("offsets must span the flat arrays exactly")
+        if not n and total:
+            raise ValueError("flat bases present but no columns declared")
+        if not (
+            self.quals.size == self.reverse.size == self.mapqs.size == total
+        ):
+            raise ValueError("batch flat arrays must be parallel")
+
+    @property
+    def n_columns(self) -> int:
+        return int(self.positions.size)
+
+    def __len__(self) -> int:
+        return self.n_columns
+
+    @property
+    def depths(self) -> np.ndarray:
+        """Per-column depths (after capping), int64."""
+        return np.diff(self.offsets)
+
+    @property
+    def ref_codes(self) -> np.ndarray:
+        """uint8 per-column reference base codes (ambiguity -> N)."""
+        if not self.ref_bases:
+            return np.zeros(0, dtype=np.uint8)
+        return encode_read_bases(self.ref_bases)
+
+    def column(self, i: int) -> PileupColumn:
+        """Materialise column ``i`` as a :class:`PileupColumn` whose
+        arrays are zero-copy views into the batch."""
+        lo, hi = int(self.offsets[i]), int(self.offsets[i + 1])
+        return PileupColumn(
+            chrom=self.chrom,
+            pos=int(self.positions[i]),
+            ref_base=self.ref_bases[i],
+            base_codes=self.base_codes[lo:hi],
+            quals=self.quals[lo:hi],
+            reverse=self.reverse[lo:hi],
+            mapqs=self.mapqs[lo:hi],
+            n_capped=int(self.n_capped[i]),
+        )
+
+    def columns(self) -> Iterator[PileupColumn]:
+        """Backward-compatible per-column view, in stored order."""
+        for i in range(self.n_columns):
+            yield self.column(i)
+
+    def slice_columns(self, lo: int, hi: int) -> "ColumnBatch":
+        """The sub-batch of columns ``lo:hi`` -- flat arrays are
+        zero-copy views; only the rebased offsets are allocated."""
+        off = self.offsets[lo : hi + 1]
+        flo, fhi = int(off[0]), int(off[-1])
+        return ColumnBatch(
+            chrom=self.chrom,
+            positions=self.positions[lo:hi],
+            ref_bases=self.ref_bases[lo:hi],
+            base_codes=self.base_codes[flo:fhi],
+            quals=self.quals[flo:fhi],
+            reverse=self.reverse[flo:fhi],
+            mapqs=self.mapqs[flo:fhi],
+            offsets=off - flo,
+            n_capped=self.n_capped[lo:hi],
+        )
+
+    @classmethod
+    def empty(cls, chrom: str) -> "ColumnBatch":
+        """A batch with no columns (sources use it for dry regions)."""
+        return cls(
+            chrom=chrom,
+            positions=np.zeros(0, dtype=np.int64),
+            ref_bases="",
+            base_codes=np.zeros(0, dtype=np.uint8),
+            quals=np.zeros(0, dtype=np.uint8),
+            reverse=np.zeros(0, dtype=bool),
+            mapqs=np.zeros(0, dtype=np.uint8),
+            offsets=np.zeros(1, dtype=np.int64),
+            n_capped=np.zeros(0, dtype=np.int64),
+        )
+
+    @classmethod
+    def from_columns(
+        cls, columns: Sequence[PileupColumn], chrom: "str | None" = None
+    ) -> "ColumnBatch":
+        """Pack per-column objects into one batch (compatibility
+        bridge for pre-columnar producers).
+
+        Args:
+            columns: columns in the order they should be stored; all
+                must share one chromosome.
+            chrom: the batch chromosome when ``columns`` is empty
+                (required then, ignored otherwise).
+        """
+        cols = list(columns)
+        if not cols:
+            if chrom is None:
+                raise ValueError("chrom required for an empty batch")
+            return cls.empty(chrom)
+        chroms = {c.chrom for c in cols}
+        if len(chroms) > 1:
+            raise ValueError(
+                f"a batch spans one chromosome, got {sorted(chroms)}"
+            )
+        depths = np.array([c.depth for c in cols], dtype=np.int64)
+        offsets = np.zeros(len(cols) + 1, dtype=np.int64)
+        np.cumsum(depths, out=offsets[1:])
+        return cls(
+            chrom=cols[0].chrom,
+            positions=np.array([c.pos for c in cols], dtype=np.int64),
+            ref_bases="".join(c.ref_base for c in cols),
+            base_codes=np.concatenate([c.base_codes for c in cols]),
+            quals=np.concatenate([c.quals for c in cols]),
+            reverse=np.concatenate([c.reverse for c in cols]),
+            mapqs=np.concatenate([c.mapqs for c in cols]),
+            offsets=offsets,
+            n_capped=np.array([c.n_capped for c in cols], dtype=np.int64),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.n_columns:
+            return f"ColumnBatch({self.chrom}: empty)"
+        return (
+            f"ColumnBatch({self.chrom}:{int(self.positions[0]) + 1}-"
+            f"{int(self.positions[-1]) + 1} n_columns={self.n_columns} "
+            f"bases={int(self.offsets[-1])})"
         )

@@ -11,16 +11,16 @@ dominates the teal regions of the paper's Figure 2 trace.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.io.cigar import CONSUMES_QUERY, CONSUMES_REFERENCE, CigarOp
 from repro.io.records import AlignedRead
 from repro.io.regions import Region
-from repro.pileup.column import BASE_TO_CODE, N_CODE, PileupColumn
+from repro.pileup.column import BASE_TO_CODE, N_CODE, ColumnBatch, PileupColumn
 
-__all__ = ["PileupConfig", "pileup"]
+__all__ = ["PileupConfig", "pileup", "pileup_batches"]
 
 #: LoFreq's default depth cap (Table I footnote: "LoFreq by default
 #: limits columns to 1 million").
@@ -108,6 +108,54 @@ class _ColumnAccumulator:
         )
 
 
+def _sweep(
+    reads: Iterable[AlignedRead],
+    region: Region,
+    cfg: PileupConfig,
+) -> Iterator[Tuple[int, Optional[_ColumnAccumulator]]]:
+    """The left-to-right sweep shared by :func:`pileup` and
+    :func:`pileup_batches`: yields ``(position, accumulator)`` for
+    every position of ``region`` in order, with ``None`` accumulators
+    at uncovered positions.
+
+    Raises:
+        ValueError: if the input violates coordinate sorting.
+    """
+    acc: Dict[int, _ColumnAccumulator] = {}
+    emit_from = region.start
+    last_read_pos = -1
+
+    def _emit_until(bound: int) -> Iterator[Tuple[int, Optional[_ColumnAccumulator]]]:
+        nonlocal emit_from
+        while emit_from < bound:
+            pos = emit_from
+            emit_from += 1
+            yield pos, acc.pop(pos, None)
+
+    for read in reads:
+        if read.rname != region.chrom:
+            continue
+        if read.is_unmapped:
+            continue
+        if read.pos < last_read_pos:
+            raise ValueError(
+                f"reads are not coordinate-sorted: {read.qname} at "
+                f"{read.pos} after {last_read_pos}"
+            )
+        last_read_pos = read.pos
+        if read.pos >= region.end:
+            break
+        if read.reference_end <= region.start:
+            continue
+        # Everything strictly left of this read's start is complete.
+        yield from _emit_until(min(read.pos, region.end))
+        if not cfg.read_passes(read):
+            continue
+        _deposit(read, region, cfg, acc)
+
+    yield from _emit_until(region.end)
+
+
 def pileup(
     reads: Iterable[AlignedRead],
     reference: str,
@@ -136,46 +184,94 @@ def pileup(
         ValueError: if the input violates coordinate sorting.
     """
     cfg = config or PileupConfig()
-    acc: Dict[int, _ColumnAccumulator] = {}
-    emit_from = region.start
-    last_read_pos = -1
+    for pos, builder in _sweep(reads, region, cfg):
+        if builder is None:
+            if emit_empty:
+                yield _ColumnAccumulator().to_column(
+                    region.chrom, pos, reference[pos].upper()
+                )
+            continue
+        yield builder.to_column(region.chrom, pos, reference[pos].upper())
 
-    def _emit_until(bound: int) -> Iterator[PileupColumn]:
-        nonlocal emit_from
-        while emit_from < bound:
-            pos = emit_from
-            emit_from += 1
-            builder = acc.pop(pos, None)
-            if builder is None:
-                if emit_empty:
-                    yield _ColumnAccumulator().to_column(
-                        region.chrom, pos, reference[pos].upper()
-                    )
-                continue
-            yield builder.to_column(region.chrom, pos, reference[pos].upper())
 
-    for read in reads:
-        if read.rname != region.chrom:
-            continue
-        if read.is_unmapped:
-            continue
-        if read.pos < last_read_pos:
-            raise ValueError(
-                f"reads are not coordinate-sorted: {read.qname} at "
-                f"{read.pos} after {last_read_pos}"
-            )
-        last_read_pos = read.pos
-        if read.pos >= region.end:
-            break
-        if read.reference_end <= region.start:
-            continue
-        # Everything strictly left of this read's start is complete.
-        yield from _emit_until(min(read.pos, region.end))
-        if not cfg.read_passes(read):
-            continue
-        _deposit(read, region, cfg, acc)
+#: Columns per batch emitted by :func:`pileup_batches`; matches the
+#: batched caller engine's internal slice size so one batch feeds one
+#: vectorised screening pass.
+BATCH_SWEEP_COLUMNS = 1024
 
-    yield from _emit_until(region.end)
+
+def pileup_batches(
+    reads: Iterable[AlignedRead],
+    reference: str,
+    region: Region,
+    config: Optional[PileupConfig] = None,
+    *,
+    batch_columns: int = BATCH_SWEEP_COLUMNS,
+) -> Iterator[ColumnBatch]:
+    """Batch-emitting sweep: like :func:`pileup` but yields
+    :class:`~repro.pileup.column.ColumnBatch` spans of up to
+    ``batch_columns`` non-empty columns, never materialising the
+    per-column :class:`PileupColumn` objects in between.
+
+    Memory stays proportional to read length x depth plus one batch,
+    like the streaming sweep; the columns covered are identical.
+
+    Raises:
+        ValueError: if the input violates coordinate sorting or
+            ``batch_columns`` is not positive.
+    """
+    if batch_columns <= 0:
+        raise ValueError(
+            f"batch_columns must be positive, got {batch_columns}"
+        )
+    cfg = config or PileupConfig()
+    positions: List[int] = []
+    ref_bases: List[str] = []
+    codes: List[int] = []
+    quals: List[int] = []
+    reverse: List[bool] = []
+    mapqs: List[int] = []
+    offsets: List[int] = [0]
+    capped: List[int] = []
+
+    def flush() -> ColumnBatch:
+        batch = ColumnBatch(
+            chrom=region.chrom,
+            positions=np.array(positions, dtype=np.int64),
+            ref_bases="".join(ref_bases),
+            base_codes=np.array(codes, dtype=np.uint8),
+            quals=np.array(quals, dtype=np.uint8),
+            reverse=np.array(reverse, dtype=bool),
+            mapqs=np.array(mapqs, dtype=np.uint8),
+            offsets=np.array(offsets, dtype=np.int64),
+            n_capped=np.array(capped, dtype=np.int64),
+        )
+        positions.clear()
+        ref_bases.clear()
+        codes.clear()
+        quals.clear()
+        reverse.clear()
+        mapqs.clear()
+        offsets.clear()
+        offsets.append(0)
+        capped.clear()
+        return batch
+
+    for pos, builder in _sweep(reads, region, cfg):
+        if builder is None:
+            continue
+        positions.append(pos)
+        ref_bases.append(reference[pos].upper())
+        codes.extend(builder.codes)
+        quals.extend(builder.quals)
+        reverse.extend(builder.reverse)
+        mapqs.extend(builder.mapqs)
+        offsets.append(len(codes))
+        capped.append(builder.capped)
+        if len(positions) >= batch_columns:
+            yield flush()
+    if positions:
+        yield flush()
 
 
 def _deposit(

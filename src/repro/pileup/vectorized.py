@@ -1,31 +1,123 @@
-"""Bulk pileup construction from columnar read matrices.
+"""Bulk pileup construction into columnar :class:`ColumnBatch` values.
 
 The streaming engine (:mod:`repro.pileup.engine`) deposits one base at
 a time, which is faithful to htslib's pileup loop but slow in Python at
-the paper's depths.  For the ungapped matrix representation produced by
-:class:`repro.sim.reads.ReadSimulator`, the entire pileup can instead
-be built with a handful of array operations: flatten all (position,
-base, qual, strand) tuples, mask, stable-sort by position, and slice at
-column boundaries.  The test suite checks the two paths produce
-identical columns; benchmarks use this one so that -- as in the C
-original -- the probability computation, not Python pileup overhead,
-dominates the measured runtimes.
+the paper's depths.  Here the entire pileup of a region is instead
+built with a handful of array operations: flatten all (position, base,
+qual, strand) observations, mask, stable-sort by position, and record
+column boundaries as offsets -- a structure-of-arrays
+:class:`~repro.pileup.column.ColumnBatch` whose per-column
+:class:`~repro.pileup.column.PileupColumn` views slice the flat arrays
+without copying.
+
+Three producers share that core:
+
+* :func:`pileup_batch_from_arrays` / :func:`pileup_sample_batch` --
+  the ungapped read-matrix representation of
+  :class:`repro.sim.reads.ReadSimulator` samples;
+* :func:`pileup_batch_from_reads` -- CIGAR-aware alignments (BAM/SAM
+  records), whose aligned bases are decoded straight into flat arrays
+  by :func:`repro.io.bam.aligned_base_arrays` instead of one
+  interpreter round-trip per base.
+
+The test suite checks all paths produce columns identical to the
+streaming engine; benchmarks use these so that -- as in the C original
+-- the probability computation, not Python pileup overhead, dominates
+the measured runtimes.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterable, Iterator, List, Optional
 
 import numpy as np
 
+from repro.io.records import AlignedRead
 from repro.io.regions import Region
-from repro.pileup.column import PileupColumn
+from repro.pileup.column import ColumnBatch, PileupColumn
 from repro.pileup.engine import PileupConfig
 
-__all__ = ["pileup_from_arrays", "pileup_sample"]
+__all__ = [
+    "pileup_batch_from_arrays",
+    "pileup_batch_from_reads",
+    "pileup_from_arrays",
+    "pileup_sample",
+    "pileup_sample_batch",
+]
 
 
-def pileup_from_arrays(
+def _ref_bases_at(reference: str, positions: np.ndarray) -> str:
+    """Uppercase reference characters at sorted ``positions`` (one
+    gather).  Only the covered span is encoded, so per-chunk cost is
+    bounded by the chunk, not the reference length."""
+    if positions.size == 0:
+        return ""
+    lo = int(positions[0])
+    raw = np.frombuffer(
+        reference[lo : int(positions[-1]) + 1].encode("ascii"),
+        dtype=np.uint8,
+    )
+    return raw[positions - lo].tobytes().decode("ascii").upper()
+
+
+def _batch_from_flat(
+    chrom: str,
+    positions: np.ndarray,
+    codes: np.ndarray,
+    quals: np.ndarray,
+    reverse: np.ndarray,
+    mapqs: np.ndarray,
+    reference: str,
+    cfg: PileupConfig,
+) -> ColumnBatch:
+    """Assemble a batch from flat per-base arrays.
+
+    ``positions`` must already be stable-sorted so that, within a
+    column, bases appear in read-deposit order -- that ordering is what
+    makes the depth cap (keep the first ``max_depth``) agree with the
+    streaming engine exactly.
+    """
+    if positions.size == 0:
+        return ColumnBatch.empty(chrom)
+    # positions is sorted, so column boundaries come from one diff --
+    # no np.unique, which would sort a second time.
+    first = np.empty(positions.size, dtype=bool)
+    first[0] = True
+    np.not_equal(positions[1:], positions[:-1], out=first[1:])
+    first_idx = np.nonzero(first)[0]
+    unique_pos = positions[first_idx]
+    boundaries = np.append(first_idx, positions.size)
+    depths = np.diff(boundaries)
+    if int(depths.max()) > cfg.max_depth:
+        # Vectorised first-come cap: index of each base within its
+        # column, keep only the first max_depth of them.
+        within = np.arange(positions.size) - np.repeat(boundaries[:-1], depths)
+        keep = within < cfg.max_depth
+        codes = codes[keep]
+        quals = quals[keep]
+        reverse = reverse[keep]
+        mapqs = mapqs[keep]
+        kept = np.minimum(depths, cfg.max_depth)
+        capped = depths - kept
+    else:
+        kept = depths
+        capped = np.zeros(depths.size, dtype=np.int64)
+    offsets = np.zeros(unique_pos.size + 1, dtype=np.int64)
+    np.cumsum(kept, out=offsets[1:])
+    return ColumnBatch(
+        chrom=chrom,
+        positions=unique_pos.astype(np.int64),
+        ref_bases=_ref_bases_at(reference, unique_pos),
+        base_codes=codes,
+        quals=quals,
+        reverse=reverse,
+        mapqs=mapqs,
+        offsets=offsets,
+        n_capped=capped,
+    )
+
+
+def pileup_batch_from_arrays(
     starts: np.ndarray,
     codes: np.ndarray,
     quals: np.ndarray,
@@ -35,8 +127,9 @@ def pileup_from_arrays(
     config: Optional[PileupConfig] = None,
     *,
     mapq: int = 60,
-) -> Iterator[PileupColumn]:
-    """Yield pileup columns from an ``(n, read_length)`` read matrix.
+) -> ColumnBatch:
+    """Build the pileup of an ``(n, read_length)`` read matrix as one
+    :class:`ColumnBatch`.
 
     Args:
         starts: sorted int read start positions, shape ``(n,)``.
@@ -44,7 +137,7 @@ def pileup_from_arrays(
         quals: uint8 Phred matrix, same shape.
         reverse: bool strand vector, shape ``(n,)``.
         reference: full reference sequence (indexed absolutely).
-        region: half-open interval to emit columns for.
+        region: half-open interval to build columns for.
         config: quality filters and depth cap.  Only the *quality*
             semantics of the streaming engine apply here: matrix input
             carries no SAM flags, so the flag-based read filters
@@ -56,12 +149,12 @@ def pileup_from_arrays(
             a constant; per-read vectors would be a trivial extension).
             The ``min_mapq`` filter compares against this *raw* value;
             values above 255 are only saturated to 255 afterwards, when
-            stamped into the column's uint8 ``mapqs`` array (so e.g.
+            stamped into the batch's uint8 ``mapqs`` array (so e.g.
             ``mapq=300`` passes a ``min_mapq=260`` filter but reads
             back as 255, the SAM-format ceiling).
 
-    Yields:
-        Non-empty :class:`PileupColumn` in increasing position order.
+    Returns:
+        The region's non-empty columns as one batch (possibly empty).
 
     Raises:
         ValueError: on inconsistent array shapes or negative ``mapq``
@@ -74,9 +167,108 @@ def pileup_from_arrays(
         raise ValueError("read matrix arrays are not mutually consistent")
     if mapq < 0:
         raise ValueError(f"mapq must be non-negative, got {mapq}")
-    if mapq < cfg.min_mapq:
-        return
+    if mapq < cfg.min_mapq or n == 0:
+        return ColumnBatch.empty(region.chrom)
+    if np.any(starts[1:] < starts[:-1]):
+        # Unsorted input loses the counting-deposit structure; fall
+        # back to a general stable sort of the flattened matrix.
+        return _batch_from_arrays_sorted(
+            starts, codes, quals, reverse, reference, region, cfg, mapq
+        )
 
+    # Counting deposit: because every read spans exactly rl contiguous
+    # positions and starts are sorted, the reads covering position p
+    # are precisely rows lo[p]..hi[p], and the stable sort-by-position
+    # permutation can be *computed* instead of searched for: base
+    # (i, j) lands at col_start[p] + (i - lo[p]).  This is the same
+    # deposit order as the streaming sweep (read order within each
+    # column), with no O(m log m) sort anywhere.
+    i_lo = int(np.searchsorted(starts, region.start - rl + 1, side="left"))
+    i_hi = int(np.searchsorted(starts, region.end, side="left"))
+    if i_hi <= i_lo:
+        return ColumnBatch.empty(region.chrom)
+    starts_r = starts[i_lo:i_hi]
+    nr = i_hi - i_lo
+    span_lo = int(starts_r[0])
+    span_hi = int(starts_r[-1]) + rl
+    grid = np.arange(span_lo, span_hi, dtype=np.int64)
+    lo = np.searchsorted(starts_r, grid - rl + 1, side="left")
+    col_start = np.zeros(grid.size + 1, dtype=np.int64)
+    np.cumsum(
+        np.searchsorted(starts_r, grid, side="right") - lo,
+        out=col_start[1:],
+    )
+    m = nr * rl
+    # dest[i, j] = col_start[p] + i - lo[p] for p = starts[i] + j,
+    # factored as (col_start - lo) gathered per position plus an
+    # in-place row add.  Each read's positions are contiguous, so the
+    # gather is a sliding-window row copy, not an element gather;
+    # 32-bit indices halve the memory traffic whenever they fit.
+    idx_dtype = np.int64 if m > np.iinfo(np.int32).max else np.int32
+    base = (col_start[:-1] - lo).astype(idx_dtype)
+    windows = np.lib.stride_tricks.sliding_window_view(base, rl)
+    dest = windows[starts_r - span_lo]
+    dest += np.arange(nr, dtype=idx_dtype)[:, None]
+    dest = dest.reshape(-1)
+    # Deposit by direct scatter.  Base code (3 bits) and strand (1
+    # bit) share one byte so the whole deposit is two single-byte
+    # scatters, which stay cache-resident where a permutation index
+    # would not.
+    q_sorted = np.empty(m, dtype=np.uint8)
+    q_sorted[dest] = quals[i_lo:i_hi].reshape(-1)
+    packed = codes[i_lo:i_hi] | (
+        reverse[i_lo:i_hi].astype(np.uint8) << np.uint8(3)
+    )[:, None]
+    p_sorted = np.empty(m, dtype=np.uint8)
+    p_sorted[dest] = packed.reshape(-1)
+    c_sorted = p_sorted & np.uint8(7)
+    r_sorted = p_sorted >= 8
+    pos_sorted = np.repeat(grid, np.diff(col_start))
+
+    # The region clip is a slice of the sorted axis, not a mask.
+    a = int(col_start[region.start - span_lo]) if region.start > span_lo else 0
+    b = int(col_start[region.end - span_lo]) if region.end < span_hi else m
+    pos_sorted = pos_sorted[a:b]
+    q_sorted = q_sorted[a:b]
+    c_sorted = c_sorted[a:b]
+    r_sorted = r_sorted[a:b]
+    if pos_sorted.size == 0:
+        return ColumnBatch.empty(region.chrom)
+
+    if cfg.min_baseq > 0:
+        keep = q_sorted >= cfg.min_baseq
+        if not keep.all():
+            pos_sorted = pos_sorted[keep]
+            q_sorted = q_sorted[keep]
+            c_sorted = c_sorted[keep]
+            r_sorted = r_sorted[keep]
+            if pos_sorted.size == 0:
+                return ColumnBatch.empty(region.chrom)
+    return _batch_from_flat(
+        region.chrom,
+        pos_sorted,
+        c_sorted,
+        q_sorted,
+        r_sorted,
+        np.full(pos_sorted.size, min(mapq, 255), dtype=np.uint8),
+        reference,
+        cfg,
+    )
+
+
+def _batch_from_arrays_sorted(
+    starts: np.ndarray,
+    codes: np.ndarray,
+    quals: np.ndarray,
+    reverse: np.ndarray,
+    reference: str,
+    region: Region,
+    cfg: PileupConfig,
+    mapq: int,
+) -> ColumnBatch:
+    """General fallback for unsorted read matrices: flatten, mask and
+    stable-sort by position (the pre-counting-deposit construction)."""
+    n, rl = codes.shape
     positions = (starts[:, None] + np.arange(rl)[None, :]).ravel()
     flat_codes = codes.ravel()
     flat_quals = quals.ravel()
@@ -92,49 +284,148 @@ def pileup_from_arrays(
     flat_quals = flat_quals[mask]
     flat_rev = flat_rev[mask]
     if positions.size == 0:
-        return
+        return ColumnBatch.empty(region.chrom)
 
     order = np.argsort(positions, kind="stable")
-    positions = positions[order]
-    flat_codes = flat_codes[order]
-    flat_quals = flat_quals[order]
-    flat_rev = flat_rev[order]
-
-    unique_pos, first_idx = np.unique(positions, return_index=True)
-    boundaries = np.append(first_idx, positions.size)
-    mapq_u8 = np.uint8(min(mapq, 255))
-
-    for i, pos in enumerate(unique_pos):
-        lo, hi = int(boundaries[i]), int(boundaries[i + 1])
-        depth = hi - lo
-        capped = 0
-        if depth > cfg.max_depth:
-            capped = depth - cfg.max_depth
-            hi = lo + cfg.max_depth
-        yield PileupColumn(
-            chrom=region.chrom,
-            pos=int(pos),
-            ref_base=reference[int(pos)].upper(),
-            base_codes=flat_codes[lo:hi],
-            quals=flat_quals[lo:hi],
-            reverse=flat_rev[lo:hi],
-            mapqs=np.full(hi - lo, mapq_u8, dtype=np.uint8),
-            n_capped=capped,
-        )
+    return _batch_from_flat(
+        region.chrom,
+        positions[order],
+        flat_codes[order],
+        flat_quals[order],
+        flat_rev[order],
+        np.full(positions.size, min(mapq, 255), dtype=np.uint8),
+        reference,
+        cfg,
+    )
 
 
-def pileup_sample(
+def pileup_from_arrays(
+    starts: np.ndarray,
+    codes: np.ndarray,
+    quals: np.ndarray,
+    reverse: np.ndarray,
+    reference: str,
+    region: Region,
+    config: Optional[PileupConfig] = None,
+    *,
+    mapq: int = 60,
+) -> Iterator[PileupColumn]:
+    """Yield pileup columns from an ``(n, read_length)`` read matrix.
+
+    Compatibility view over :func:`pileup_batch_from_arrays` (same
+    arguments and semantics): the columns are zero-copy views into the
+    underlying batch, yielded in increasing position order.
+    """
+    batch = pileup_batch_from_arrays(
+        starts, codes, quals, reverse, reference, region, config, mapq=mapq
+    )
+    return batch.columns()
+
+
+def pileup_batch_from_reads(
+    reads: Iterable[AlignedRead],
+    reference: str,
+    region: Region,
+    config: Optional[PileupConfig] = None,
+) -> ColumnBatch:
+    """Columnar pileup over coordinate-sorted alignments.
+
+    The CIGAR-aware twin of :func:`pileup_batch_from_arrays`: each
+    read's aligned bases are decoded into flat arrays in one shot
+    (:func:`repro.io.bam.aligned_base_arrays`), concatenated in read
+    order, filtered, and stable-sorted by position -- so within a
+    column bases keep the streaming engine's deposit order and the
+    depth cap drops exactly the same reads.  Read-level semantics
+    (chromosome/region skips, flag filters, the coordinate-sort check)
+    are identical to :func:`repro.pileup.engine.pileup`.
+
+    Raises:
+        ValueError: if the input violates coordinate sorting.
+    """
+    from repro.io.bam import aligned_base_arrays
+
+    cfg = config or PileupConfig()
+    pos_parts: List[np.ndarray] = []
+    code_parts: List[np.ndarray] = []
+    qual_parts: List[np.ndarray] = []
+    rev_flags: List[bool] = []
+    mapq_vals: List[int] = []
+    lengths: List[int] = []
+    last_read_pos = -1
+    for read in reads:
+        if read.rname != region.chrom:
+            continue
+        if read.is_unmapped:
+            continue
+        if read.pos < last_read_pos:
+            raise ValueError(
+                f"reads are not coordinate-sorted: {read.qname} at "
+                f"{read.pos} after {last_read_pos}"
+            )
+        last_read_pos = read.pos
+        if read.pos >= region.end:
+            break
+        if read.reference_end <= region.start:
+            continue
+        if not cfg.read_passes(read):
+            continue
+        positions, codes, quals = aligned_base_arrays(read)
+        if positions.size == 0:
+            continue
+        pos_parts.append(positions)
+        code_parts.append(codes)
+        qual_parts.append(quals)
+        rev_flags.append(read.is_reverse)
+        mapq_vals.append(min(read.mapq, 255))
+        lengths.append(positions.size)
+    if not pos_parts:
+        return ColumnBatch.empty(region.chrom)
+
+    positions = np.concatenate(pos_parts)
+    flat_codes = np.concatenate(code_parts)
+    flat_quals = np.concatenate(qual_parts)
+    counts = np.array(lengths, dtype=np.int64)
+    flat_rev = np.repeat(np.array(rev_flags, dtype=bool), counts)
+    flat_mapqs = np.repeat(np.array(mapq_vals, dtype=np.uint8), counts)
+
+    mask = (
+        (positions >= region.start)
+        & (positions < region.end)
+        & (flat_quals >= cfg.min_baseq)
+    )
+    positions = positions[mask]
+    flat_codes = flat_codes[mask]
+    flat_quals = flat_quals[mask]
+    flat_rev = flat_rev[mask]
+    flat_mapqs = flat_mapqs[mask]
+    if positions.size == 0:
+        return ColumnBatch.empty(region.chrom)
+
+    order = np.argsort(positions, kind="stable")
+    return _batch_from_flat(
+        region.chrom,
+        positions[order],
+        flat_codes[order],
+        flat_quals[order],
+        flat_rev[order],
+        flat_mapqs[order],
+        reference,
+        cfg,
+    )
+
+
+def pileup_sample_batch(
     sample,
     region: Optional[Region] = None,
     config: Optional[PileupConfig] = None,
-) -> Iterator[PileupColumn]:
-    """Pileup a :class:`~repro.sim.reads.SimulatedSample` directly.
+) -> ColumnBatch:
+    """Columnar pileup of a :class:`~repro.sim.reads.SimulatedSample`.
 
     ``region`` defaults to the whole genome.
     """
     if region is None:
         region = Region(sample.genome.name, 0, len(sample.genome))
-    return pileup_from_arrays(
+    return pileup_batch_from_arrays(
         sample.starts,
         sample.codes,
         sample.quals,
@@ -144,3 +435,16 @@ def pileup_sample(
         config,
         mapq=sample.mapq,
     )
+
+
+def pileup_sample(
+    sample,
+    region: Optional[Region] = None,
+    config: Optional[PileupConfig] = None,
+) -> Iterator[PileupColumn]:
+    """Pileup a :class:`~repro.sim.reads.SimulatedSample` directly.
+
+    Compatibility view over :func:`pileup_sample_batch`; ``region``
+    defaults to the whole genome.
+    """
+    return pileup_sample_batch(sample, region, config).columns()

@@ -9,6 +9,10 @@ with an :class:`ExecutionPolicy` and a set of
 * workers evaluate chunks through
   :meth:`~repro.core.caller.VariantCaller.call_columns` (streaming or
   batched engine, per ``config.engine``) with ``apply_filters=False``;
+  under the batched engine, sources that speak columnar hand the
+  worker structure-of-arrays
+  :class:`~repro.pileup.column.ColumnBatch` units via ``batches_for``
+  instead of per-column objects;
 * the dynamic post-filter runs exactly **once** on the merged calls --
   the paper's fix for the legacy wrapper's double-filtering bug --
   except in the deliberate ``"legacy"`` demonstration mode, which
@@ -89,6 +93,24 @@ def _flatten(item) -> List[Region]:
     return list(item)
 
 
+def _chunk_units(
+    source: ColumnSource,
+    caller: VariantCaller,
+    chunk: Region,
+    tracer: Tracer,
+    worker: int,
+):
+    """The work units of one chunk: structure-of-arrays batches for
+    the batched engine (when the source speaks columnar), per-column
+    objects otherwise.  Either form feeds
+    :meth:`VariantCaller.call_columns` unchanged."""
+    if caller.config.engine == "batched":
+        batches_for = getattr(source, "batches_for", None)
+        if batches_for is not None:
+            return batches_for(chunk, tracer, worker)
+    return source.columns_for(chunk, tracer, worker)
+
+
 def _worker_loop(
     worker: int,
     scheduler,
@@ -105,7 +127,7 @@ def _worker_loop(
         if item is None:
             break
         for chunk in _flatten(item):
-            columns = source.columns_for(chunk, tracer, worker)
+            columns = _chunk_units(source, caller, chunk, tracer, worker)
             with tracer.span(worker, Category.PROB):
                 result = caller.call_columns(
                     columns, scope, apply_filters=False
@@ -341,7 +363,7 @@ def _process_worker(args: Tuple[int, List[Region]]):
     tracer = Tracer()
     merged = CallResult(calls=[], stats=RunStats())
     for chunk in chunk_list:
-        columns = source.columns_for(chunk, tracer, worker)
+        columns = _chunk_units(source, caller, chunk, tracer, worker)
         with tracer.span(worker, Category.PROB):
             result = caller.call_columns(columns, scope, apply_filters=False)
         merged.merge(result)

@@ -10,9 +10,15 @@ stream, an in-memory sample, pre-built columns) and exposes it as
   of only ``header.references[0]``;
 * :meth:`ColumnSource.columns_for` materialises the pileup columns of
   any sub-interval of those regions, so the execution layer is free to
-  re-chunk regions for scheduling.
+  re-chunk regions for scheduling;
+* :meth:`ColumnSource.batches_for` is the columnar spine: the same
+  span as structure-of-arrays
+  :class:`~repro.pileup.column.ColumnBatch` work units, which the
+  batched caller engine screens without materialising per-column
+  Python objects.  ``columns_for`` remains as the per-column
+  compatibility view (the streaming engine's input).
 
-``columns_for`` must be safe to call from multiple workers at once
+Both must be safe to call from multiple workers at once
 (:class:`BamSource` keeps one reader per worker; :class:`SampleSource`
 reads shared matrices), except :class:`ReadsSource` over a one-shot
 iterator, which supports exactly one pass and is documented as such.
@@ -39,8 +45,8 @@ from typing import (
 from repro.io.records import AlignedRead
 from repro.io.regions import Region
 from repro.parallel.trace import Category, Tracer
-from repro.pileup.column import PileupColumn
-from repro.pileup.engine import PileupConfig, pileup
+from repro.pileup.column import ColumnBatch, PileupColumn
+from repro.pileup.engine import PileupConfig, pileup, pileup_batches
 
 __all__ = [
     "BamSource",
@@ -71,6 +77,15 @@ class ColumnSource(Protocol):
         worker: int = 0,
     ) -> Iterable[PileupColumn]:
         """Columns of ``chunk`` (any sub-interval of a region)."""
+        ...
+
+    def batches_for(
+        self,
+        chunk: Region,
+        tracer: Optional[Tracer] = None,
+        worker: int = 0,
+    ) -> Iterable[ColumnBatch]:
+        """The same span as structure-of-arrays batches."""
         ...
 
 
@@ -113,6 +128,20 @@ class ColumnsSource:
             if c.chrom == chunk.chrom and chunk.start <= c.pos < chunk.end
         ]
 
+    def batches_for(
+        self,
+        chunk: Region,
+        tracer: Optional[Tracer] = None,
+        worker: int = 0,
+    ) -> List[ColumnBatch]:
+        """The chunk's columns packed into one batch (compatibility
+        bridge: pre-built columns are per-column by construction)."""
+        return [
+            ColumnBatch.from_columns(
+                self.columns_for(chunk, tracer, worker), chrom=chunk.chrom
+            )
+        ]
+
 
 class ReadsSource:
     """Coordinate-sorted reads through the streaming pileup engine.
@@ -144,24 +173,40 @@ class ReadsSource:
     def regions(self) -> Sequence[Region]:
         return [self.region]
 
+    def _reads_for_pass(self) -> Iterable[AlignedRead]:
+        if isinstance(self._reads, (list, tuple)):
+            return iter(self._reads)
+        if self._consumed:
+            raise ValueError(
+                "ReadsSource over a one-shot iterator supports a "
+                "single pass; pass a list of reads for parallel or "
+                "chunked execution"
+            )
+        self._consumed = True
+        return self._reads
+
     def columns_for(
         self,
         chunk: Region,
         tracer: Optional[Tracer] = None,
         worker: int = 0,
     ) -> Iterable[PileupColumn]:
-        if isinstance(self._reads, (list, tuple)):
-            reads: Iterable[AlignedRead] = iter(self._reads)
-        else:
-            if self._consumed:
-                raise ValueError(
-                    "ReadsSource over a one-shot iterator supports a "
-                    "single pass; pass a list of reads for parallel or "
-                    "chunked execution"
-                )
-            self._consumed = True
-            reads = self._reads
-        return pileup(reads, self.reference, chunk, self.pileup_config)
+        return pileup(
+            self._reads_for_pass(), self.reference, chunk, self.pileup_config
+        )
+
+    def batches_for(
+        self,
+        chunk: Region,
+        tracer: Optional[Tracer] = None,
+        worker: int = 0,
+    ) -> Iterable[ColumnBatch]:
+        """The chunk through the batch-emitting streaming sweep
+        (:func:`repro.pileup.engine.pileup_batches`) -- columns are
+        never lifted to per-column objects on the way."""
+        return pileup_batches(
+            self._reads_for_pass(), self.reference, chunk, self.pileup_config
+        )
 
 
 class SampleSource:
@@ -199,6 +244,22 @@ class SampleSource:
             return list(
                 pileup_sample(self.sample, chunk, self.pileup_config)
             )
+
+    def batches_for(
+        self,
+        chunk: Region,
+        tracer: Optional[Tracer] = None,
+        worker: int = 0,
+    ) -> List[ColumnBatch]:
+        """The chunk built directly from the sample's matrices as one
+        structure-of-arrays batch -- no per-column slicing at all."""
+        from repro.pileup.vectorized import pileup_sample_batch
+
+        trc = tracer or Tracer()
+        with trc.span(worker, Category.BAM_ITER):
+            return [
+                pileup_sample_batch(self.sample, chunk, self.pileup_config)
+            ]
 
 
 class BamSource:
@@ -331,16 +392,16 @@ class BamSource:
             return self._NO_READS
         return index.query(chunk.start)
 
-    def columns_for(
-        self,
-        chunk: Region,
-        tracer: Optional[Tracer] = None,
-        worker: int = 0,
-    ) -> List[PileupColumn]:
+    def _scan(self, chunk: Region, tracer: Optional[Tracer], worker: int, build):
+        """Seek to ``chunk``, stream its records through ``build``
+        (reads iterator -> result) and attribute the time: inflation
+        to DECOMPRESS, the remainder of the read+pileup phase to
+        BAM_ITER, as HPC-Toolkit would.  Returns ``None`` when the
+        contig has no records at all."""
         trc = tracer or Tracer()
         offset = self._seek_offset(chunk)
         if offset is self._NO_READS:
-            return []
+            return None
         reader = self._reader()
         chunk_rank = self._rank.get(chunk.chrom)
         if chunk_rank is None:
@@ -370,18 +431,56 @@ class BamSource:
                     return
                 yield rec
 
-        columns = list(
-            pileup(
-                reads(),
+        result = build(reads())
+        t1 = time.perf_counter()
+        dec = reader._bgzf.time_decompress - t_dec0
+        trc.record(worker, Category.DECOMPRESS, t0, t0 + dec)
+        trc.record(worker, Category.BAM_ITER, t0 + dec, t1)
+        return result
+
+    def columns_for(
+        self,
+        chunk: Region,
+        tracer: Optional[Tracer] = None,
+        worker: int = 0,
+    ) -> List[PileupColumn]:
+        columns = self._scan(
+            chunk,
+            tracer,
+            worker,
+            lambda reads: list(
+                pileup(
+                    reads,
+                    self._reference_for(chunk.chrom),
+                    chunk,
+                    self.pileup_config,
+                )
+            ),
+        )
+        return [] if columns is None else columns
+
+    def batches_for(
+        self,
+        chunk: Region,
+        tracer: Optional[Tracer] = None,
+        worker: int = 0,
+    ) -> List[ColumnBatch]:
+        """The chunk through the columnar deposit path: each record's
+        aligned bases are decoded straight into flat arrays
+        (:func:`repro.io.bam.aligned_base_arrays`) and assembled into
+        one structure-of-arrays batch -- no per-base tuples and no
+        per-column objects on the way to the screen."""
+        from repro.pileup.vectorized import pileup_batch_from_reads
+
+        batch = self._scan(
+            chunk,
+            tracer,
+            worker,
+            lambda reads: pileup_batch_from_reads(
+                reads,
                 self._reference_for(chunk.chrom),
                 chunk,
                 self.pileup_config,
-            )
+            ),
         )
-        t1 = time.perf_counter()
-        dec = reader._bgzf.time_decompress - t_dec0
-        # Attribute inflation time to DECOMPRESS and the remainder of
-        # the read+pileup phase to BAM_ITER, as HPC-Toolkit would.
-        trc.record(worker, Category.DECOMPRESS, t0, t0 + dec)
-        trc.record(worker, Category.BAM_ITER, t0 + dec, t1)
-        return columns
+        return [] if batch is None else [batch]

@@ -196,6 +196,114 @@ class TestCall:
         assert rc == 2
 
 
+class TestPileupKnobs:
+    def test_defaults_match_explicit(self, workspace):
+        """Passing the documented defaults changes nothing."""
+        outs = {}
+        for label, extra in (
+            ("default", []),
+            ("explicit", ["--min-mapq", "0", "--min-baseq", "6"]),
+        ):
+            out = workspace / f"calls_knobs_{label}.vcf"
+            rc = main(
+                [
+                    "call", str(workspace / "sample.bam"),
+                    "--reference", str(workspace / "ref.fa"),
+                    "--out", str(out),
+                ]
+                + extra
+            )
+            assert rc == 0
+            outs[label] = out.read_bytes()
+        assert outs["default"] == outs["explicit"]
+
+    def test_min_mapq_above_reads_drops_all_calls(self, workspace):
+        from repro.io.vcf import read_vcf
+
+        out = workspace / "calls_mapq_all.vcf"
+        rc = main(
+            [
+                "call", str(workspace / "sample.bam"),
+                "--reference", str(workspace / "ref.fa"),
+                "--out", str(out),
+                "--min-mapq", "100",  # simulated reads carry mapq 60
+            ]
+        )
+        assert rc == 0
+        _, records = read_vcf(out)
+        assert records == []
+
+    def test_min_baseq_strict_reduces_depth(self, workspace):
+        import json
+
+        depths = {}
+        for label, baseq in (("loose", "6"), ("strict", "38")):
+            out = workspace / f"calls_baseq_{label}.vcf"
+            stats = workspace / f"stats_baseq_{label}.json"
+            rc = main(
+                [
+                    "call", str(workspace / "sample.bam"),
+                    "--reference", str(workspace / "ref.fa"),
+                    "--out", str(out),
+                    "--min-baseq", baseq,
+                    "--stats-json", str(stats),
+                ]
+            )
+            assert rc == 0
+            depths[label] = json.loads(stats.read_text())["stats"]["tests_run"]
+        # A strict base-quality floor must prune observations (fewer
+        # candidate tests), not leave the pileup untouched.
+        assert depths["strict"] < depths["loose"]
+
+    def test_max_depth_caps_reported_depth(self, workspace):
+        from repro.io.vcf import read_vcf
+
+        out = workspace / "calls_capped.vcf"
+        rc = main(
+            [
+                "call", str(workspace / "sample.bam"),
+                "--reference", str(workspace / "ref.fa"),
+                "--out", str(out),
+                "--max-depth", "50",
+            ]
+        )
+        assert rc == 0
+        _, records = read_vcf(out)
+        assert records, "capped run should still call the strong variants"
+        assert all(int(r.info["DP"]) <= 50 for r in records)
+
+    def test_knobs_identical_across_engines(self, workspace):
+        """The columnar BAM path must honour the pileup knobs exactly
+        like the streaming path."""
+        outs = {}
+        for engine in ("streaming", "batched"):
+            out = workspace / f"calls_knobs_{engine}.vcf"
+            rc = main(
+                [
+                    "call", str(workspace / "sample.bam"),
+                    "--reference", str(workspace / "ref.fa"),
+                    "--out", str(out),
+                    "--engine", engine,
+                    "--min-baseq", "20",
+                    "--max-depth", "80",
+                ]
+            )
+            assert rc == 0
+            outs[engine] = out.read_bytes()
+        assert outs["streaming"] == outs["batched"]
+
+    def test_invalid_max_depth_errors(self, workspace, tmp_path):
+        rc = main(
+            [
+                "call", str(workspace / "sample.bam"),
+                "--reference", str(workspace / "ref.fa"),
+                "--out", str(tmp_path / "x.vcf"),
+                "--max-depth", "0",
+            ]
+        )
+        assert rc == 2
+
+
 class TestNewCallFlags:
     def test_output_format_jsonl(self, workspace):
         import json

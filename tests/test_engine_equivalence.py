@@ -178,3 +178,101 @@ def test_batched_skips_most_tests_when_deep():
     ).call_sample(_dataset("deep"))
     assert result.stats.skip_fraction() > 0.5
     assert result.stats.exact_skipped > 100
+
+
+# -- the columnar ColumnBatch spine -------------------------------------------
+
+
+def test_call_columns_accepts_column_batch(dataset):
+    """Feeding one ColumnBatch to call_columns must equal feeding the
+    same columns loosely, under both engines."""
+    from repro.pileup.vectorized import pileup_sample, pileup_sample_batch
+
+    batch = pileup_sample_batch(dataset)
+    columns = list(pileup_sample(dataset))
+    scope = len(dataset.genome)
+    for engine in ("streaming", "batched"):
+        caller = VariantCaller(CallerConfig(engine=engine))
+        from_batch = caller.call_columns(batch, scope)
+        from_columns = caller.call_columns(columns, scope)
+        assert_equivalent(from_columns, from_batch)
+
+
+def test_batched_engine_over_bam_pipeline(tmp_path):
+    """The BAM columnar deposit path (BamSource.batches_for) must
+    yield byte-identical calls and censuses to the streaming engine
+    over the same file."""
+    from repro.pipeline import BamSource, Pipeline
+
+    dataset = _dataset("deep")
+    bam = tmp_path / "deep.bam"
+    dataset.write_bam(bam)
+    results = {}
+    for engine in ("streaming", "batched"):
+        results[engine] = Pipeline(
+            BamSource(bam, dataset.genome.sequence),
+            config=CallerConfig(engine=engine),
+        ).run()
+    assert_equivalent(results["streaming"], results["batched"])
+    assert results["batched"].stats.exact_skipped > 100
+
+
+def test_batched_engine_under_parallel_driver_with_batches():
+    """Chunked parallel execution streams per-chunk batches through
+    the native screen; the merged result must still match streaming."""
+    dataset = _dataset("deep")
+    results = {}
+    for engine in ("streaming", "batched"):
+        results[engine] = parallel_call(
+            dataset,
+            dataset.genome.sequence,
+            config=CallerConfig(engine=engine),
+            options=ParallelCallOptions(
+                n_workers=3, chunk_columns=97, backend="thread"
+            ),
+        )
+    assert_equivalent(results["streaming"], results["batched"])
+
+
+def test_screened_out_columns_build_no_python_objects(monkeypatch):
+    """The acceptance claim: evaluating a ColumnBatch constructs a
+    PileupColumn only for exact-DP survivors -- zero for a batch whose
+    every allele is screened out."""
+    import numpy as np
+
+    from repro.core.batched import evaluate_batch
+    from repro.core.results import RunStats
+    from repro.pileup.column import PileupColumn
+    from repro.pileup.vectorized import pileup_sample_batch
+
+    dataset = _dataset("null")  # no true variants: everything screens out
+    config = CallerConfig()
+    batch = pileup_sample_batch(dataset)
+    # Restrict to columns above the approximation gate so every pair
+    # is eligible for screening.
+    deep_enough = np.nonzero(batch.depths >= config.approx_min_depth)[0]
+    lo, hi = int(deep_enough[0]), int(deep_enough[-1]) + 1
+    batch = batch.slice_columns(lo, hi)
+    assert bool((batch.depths >= config.approx_min_depth).all())
+
+    constructed = 0
+    original = PileupColumn.__post_init__
+
+    def counting(self):
+        nonlocal constructed
+        constructed += 1
+        return original(self)
+
+    monkeypatch.setattr(PileupColumn, "__post_init__", counting)
+    stats = RunStats()
+    calls = evaluate_batch(
+        batch, config.corrected_alpha(len(dataset.genome)), config, stats
+    )
+    assert stats.tests_run > 50
+    assert stats.exact_skipped == stats.tests_run, (
+        "premise broken: a pair survived screening on the null dataset"
+    )
+    assert calls == []
+    assert constructed == 0, (
+        f"{constructed} PileupColumn objects built for screened-out columns"
+    )
