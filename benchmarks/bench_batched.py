@@ -21,9 +21,23 @@ measurements document the repair:
   screened-out-heavy workload.  The acceptance bar is 2x over the
   PR 2 baseline.
 
+* ``test_exact_stage_speedup`` -- the exact stage alone: the PR 3
+  path (each screening survivor lifted to a ``PileupColumn`` and run
+  through the scalar pruned DP one at a time) against the batch-native
+  stage (``exact_batch`` feeding all survivors through
+  ``poibin_sf_dp_batch`` at once), on an everything-survives workload
+  (``use_approximation=False``).  The acceptance bar is 1.5x, with
+  byte-identical calls and censuses; emits ``batched_stats.json``.
+
+The per-column baselines these tests measure against were *removed*
+from the engine (PR 3's pileup in PR 3, PR 3's survivor lifting in
+PR 4), so each baseline lives here as a verbatim copy of the retired
+code.
+
 Run: ``pytest benchmarks/bench_batched.py --benchmark-only``
 """
 
+import dataclasses
 import time
 
 import numpy as np
@@ -32,13 +46,15 @@ import pytest
 from repro.core.batched import (
     GUARD_BAND,
     batch_margins,
+    exact_batch,
     qual_prob_table,
     screen_batch,
 )
 from repro.core.caller import VariantCaller
 from repro.core.config import CallerConfig
 from repro.core.model import allele_error_probabilities, candidate_alleles
-from repro.core.results import RunStats
+from repro.core.results import ColumnDecision, RunStats
+from repro.core.workflow import exact_allele_decision
 from repro.io.regions import Region
 from repro.pileup.column import PileupColumn
 from repro.pileup.vectorized import pileup_sample, pileup_sample_batch
@@ -194,6 +210,101 @@ def test_screening_stage_speedup(benchmark, screening_sample):
         )
 
 
+# -- retired per-column engine internals, kept verbatim as baselines ----------
+
+
+class _LiftedColumn:
+    """The retired engine's ``_ColumnJob``: one column's shared
+    screening state, error vector materialised lazily."""
+
+    __slots__ = ("column", "_probs")
+
+    def __init__(self, column, probs=None):
+        self.column = column
+        self._probs = probs
+
+    @property
+    def probs(self):
+        if self._probs is None:
+            self._probs = qual_prob_table()[self.column.quals]
+        return self._probs
+
+
+class _LiftedPair:
+    """The retired engine's ``_Pair``: one gathered (column, allele)."""
+
+    __slots__ = ("job", "alt_code", "alt_count", "lam")
+
+    def __init__(self, job, alt_code, alt_count, lam):
+        self.job = job
+        self.alt_code = alt_code
+        self.alt_count = alt_count
+        self.lam = lam
+
+    @property
+    def column(self):
+        return self.job.column
+
+    @property
+    def probs(self):
+        return self.job.probs
+
+
+def _lifted_gather(columns, config, stats):
+    """The retired per-column gather pass (``_gather``), base-quality
+    model only (what ``CallerConfig.improved()`` runs)."""
+    screened, direct = [], []
+    table = qual_prob_table()
+    for column in columns:
+        stats.columns_seen += 1
+        if column.depth < config.min_coverage:
+            stats.record_decision(ColumnDecision.LOW_COVERAGE)
+            continue
+        candidates = candidate_alleles(column)
+        if not candidates:
+            stats.record_decision(ColumnDecision.NO_CANDIDATE)
+            continue
+        screen = (
+            config.use_approximation
+            and column.depth >= config.approx_min_depth
+        )
+        job = _LiftedColumn(column)
+        lam = (
+            float(np.bincount(column.quals, minlength=256) @ table)
+            if screen
+            else None
+        )
+        for alt_code, alt_count in candidates:
+            stats.tests_run += 1
+            pair = _LiftedPair(job, alt_code, alt_count, lam)
+            if screen:
+                stats.approx_invocations += 1
+                screened.append(pair)
+            else:
+                direct.append(pair)
+    return screened, direct
+
+
+def _lifted_screen(pairs, corrected_alpha, config, stats):
+    """The retired vectorised first pass over lifted pairs
+    (``_screen``), guard band included."""
+    ks = np.array([p.alt_count for p in pairs], dtype=np.float64)
+    lams = np.array([p.lam for p in pairs], dtype=np.float64)
+    depths = np.array([p.column.depth for p in pairs], dtype=np.float64)
+    p_hat = poisson_tail_approx_batch(ks, lams)
+    p_hat_corrected = np.minimum(1.0, p_hat / corrected_alpha * config.alpha)
+    thresholds = config.alpha + batch_margins(depths, config)
+    skip = p_hat_corrected >= thresholds
+    near = np.abs(p_hat_corrected - thresholds) < GUARD_BAND
+    for i in np.nonzero(near)[0]:
+        pair = pairs[i]
+        exact_p_hat = poisson_tail_approx(pair.alt_count, pair.probs)
+        corrected = min(1.0, exact_p_hat / corrected_alpha * config.alpha)
+        margin = config.margin_for_depth(pair.column.depth)
+        skip[i] = corrected >= config.alpha + margin
+    return skip
+
+
 def _pr2_pileup_columns(sample):
     """The PR 2 pileup path, verbatim: flatten the read matrix, mask,
     stable-sort by position, find column boundaries with ``np.unique``
@@ -249,21 +360,20 @@ def test_columnar_pileup_screen_speedup(benchmark, screening_sample):
     """The columnar acceptance bar: pileup->screen >= 2x over PR 2.
 
     Baseline: PR 2's per-column pileup objects pushed through the
-    batched engine's own per-column gather and screen (the shipped
-    ``_gather`` / ``_screen``, which remain the loose-column path).
-    Columnar: ``pileup_sample_batch`` -> ``screen_batch``, no
-    per-column objects.  Both must reach identical skip decisions and
-    identical surviving (position, allele) pairs.
+    retired per-column gather and screen (``_lifted_gather`` /
+    ``_lifted_screen`` above, verbatim copies of the code this PR
+    removed from the engine).  Columnar: ``pileup_sample_batch`` ->
+    ``screen_batch``, no per-column objects.  Both must reach
+    identical skip decisions and identical surviving
+    (position, allele) pairs.
     """
-    from repro.core.batched import _gather, _screen
-
     sample = screening_sample
     config = CallerConfig.improved()
     corrected_alpha = config.corrected_alpha(len(sample.genome))
 
     def baseline():
         stats = RunStats()
-        screened, direct = _gather(
+        screened, direct = _lifted_gather(
             _pr2_pileup_columns(sample), config, stats
         )
         skipped = 0
@@ -271,7 +381,7 @@ def test_columnar_pileup_screen_speedup(benchmark, screening_sample):
             (p.column.pos, p.alt_code, p.alt_count) for p in direct
         ]
         if screened:
-            skip = _screen(screened, corrected_alpha, config, stats)
+            skip = _lifted_screen(screened, corrected_alpha, config, stats)
             skipped = int(skip.sum())
             survivors.extend(
                 (p.column.pos, p.alt_code, p.alt_count)
@@ -344,6 +454,135 @@ def test_columnar_pileup_screen_speedup(benchmark, screening_sample):
     else:
         assert speedup >= 2.0, (
             f"columnar speedup {speedup:.2f}x below the 2x bar"
+        )
+
+
+@pytest.fixture(scope="module")
+def exact_stage_sample():
+    """A wide moderate-depth sample (the realistic calling regime:
+    many columns at a few hundred x): plenty of surviving
+    (column, allele) lanes per DP sweep step, which is what the batch
+    exact stage amortises its per-step cost over."""
+    from repro.sim.genome import sars_cov_2_like
+    from repro.sim.haplotypes import random_panel
+    from repro.sim.reads import ReadSimulator
+
+    length = 1500 if FAST else 4000
+    genome = sars_cov_2_like(length=length, seed=911)
+    panel = random_panel(
+        genome.sequence, 25, freq_range=(0.02, 0.1), seed=911
+    )
+    simulator = ReadSimulator(genome, panel, read_length=100)
+    return simulator.simulate(600, seed=912)
+
+
+def test_exact_stage_speedup(benchmark, exact_stage_sample):
+    """The batch-native exact stage acceptance bar: >= 1.5x over the
+    retired per-column survivor lifting.
+
+    Workload: ``use_approximation=False``, so *every* candidate pair
+    survives the (vacuous) screen and hits the exact DP -- the
+    exact-stage-heavy regime.  Baseline: PR 3's survivor loop,
+    verbatim -- lift each surviving column to a ``PileupColumn``,
+    gather its probability vector and run the scalar pruned DP per
+    pair.  Batch: ``exact_batch`` feeding all survivors through
+    ``poibin_sf_dp_batch``.  Calls and censuses must be identical.
+    """
+    sample = exact_stage_sample
+    config = CallerConfig.original()
+    corrected_alpha = config.corrected_alpha(len(sample.genome))
+    batch = pileup_sample_batch(sample)
+    pre = RunStats()
+    survivors = screen_batch(batch, corrected_alpha, config, pre)
+    assert len(survivors) == pre.tests_run  # nothing screened out
+    assert len(survivors) > (40 if FAST else 100)
+
+    def lifted():
+        # PR 3's evaluate_batch survivor tail, verbatim.
+        stats = RunStats()
+        calls = []
+        table = qual_prob_table()
+        jobs = {}
+        for col_idx, alt_code, alt_count in survivors:
+            cached = jobs.get(col_idx)
+            if cached is None:
+                column = batch.column(col_idx)
+                jobs[col_idx] = cached = (column, table[column.quals])
+            column, probs = cached
+            outcome = exact_allele_decision(
+                column, alt_code, alt_count, probs, corrected_alpha,
+                config, stats,
+            )
+            if outcome.call is not None:
+                calls.append(outcome.call)
+        return stats, calls
+
+    def batched():
+        stats = RunStats()
+        calls = exact_batch(batch, survivors, corrected_alpha, config, stats)
+        return stats, calls
+
+    def measure():
+        lifted()  # warm both paths (allocator, caches, LUTs)
+        batched()
+        t_lift, lift = _best_of(lifted)
+        t_batch, bat = _best_of(batched)
+        return t_lift, t_batch, lift, bat
+
+    t_lift, t_batch, lift, bat = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    lift_stats, lift_calls = lift
+    batch_stats, batch_calls = bat
+    key = lambda c: (c.chrom, c.pos, c.alt)  # noqa: E731
+    assert [dataclasses.astuple(c) for c in sorted(lift_calls, key=key)] == [
+        dataclasses.astuple(c) for c in sorted(batch_calls, key=key)
+    ], "exact-stage calls diverged"
+    assert lift_stats.decisions == batch_stats.decisions
+    assert lift_stats.dp_invocations == batch_stats.dp_invocations
+    assert lift_stats.dp_steps == batch_stats.dp_steps
+    # Anchor to the shipped engine: a full batched run must reach the
+    # same decision census as screen + batch exact stage here.
+    engine_result = VariantCaller(
+        CallerConfig.original(engine="batched")
+    ).call_sample(sample)
+    merged = dict(pre.decisions)
+    for k, v in batch_stats.decisions.items():
+        merged[k] = merged.get(k, 0) + v
+    assert engine_result.stats.decisions == merged
+    speedup = t_lift / t_batch if t_batch > 0 else float("inf")
+    lines = [
+        "Exact stage: per-column survivor lifting vs batch-native DP",
+        f"workload: {sample.mean_depth:.0f}x sample, "
+        f"{len(survivors)} surviving (column, allele) pairs, "
+        f"{len(batch_calls)} calls",
+        "",
+        f"per-column lifting: {t_lift * 1e3:>8.2f} ms",
+        f"batch exact stage : {t_batch * 1e3:>8.2f} ms",
+        f"speedup           : {speedup:>8.1f}x (acceptance bar: 1.5x)",
+    ]
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["n_survivors"] = len(survivors)
+    write_report("batched_exact_stage.txt", "\n".join(lines))
+    write_stats_report(
+        "batched_stats.json",
+        {"lifted": lift_stats, "batched": batch_stats},
+        extra={
+            "t_lifted_s": round(t_lift, 6),
+            "t_batched_s": round(t_batch, 6),
+            "speedup": round(speedup, 3),
+            "n_survivors": len(survivors),
+        },
+    )
+    # Wall-clock multiples are unstable on the tiny FAST profile
+    # (shared CI runners); there the check is direction only.
+    if FAST:
+        assert speedup > 1.0, (
+            f"batch exact stage slower than lifting ({speedup:.2f}x)"
+        )
+    else:
+        assert speedup >= 1.5, (
+            f"exact-stage speedup {speedup:.2f}x below the 1.5x bar"
         )
 
 

@@ -106,6 +106,13 @@ def build_parser() -> argparse.ArgumentParser:
         "the LoFreq default)",
     )
     p_call.add_argument(
+        "--merge-mapq",
+        action="store_true",
+        help="fold each read's mapping quality into its error "
+        "probability as an independent error source (LoFreq's -m "
+        "joint-quality merge); per-read, on both engines",
+    )
+    p_call.add_argument(
         "--max-depth",
         type=int,
         default=None,
@@ -251,6 +258,7 @@ def _cmd_call(args: argparse.Namespace) -> int:
         approx_min_depth=args.min_approx_depth,
         bonferroni=args.bonferroni,
         engine=args.engine,
+        merge_mapq=args.merge_mapq,
     )
     config = (
         CallerConfig.improved(**kwargs)

@@ -17,7 +17,12 @@
   and :class:`CallResult`.
 """
 
-from repro.core.batched import evaluate_columns_batched
+from repro.core.batched import (
+    evaluate_batch,
+    evaluate_columns_batched,
+    exact_batch,
+    screen_batch,
+)
 from repro.core.caller import VariantCaller
 from repro.core.config import CallerConfig
 from repro.core.filters import (
@@ -47,9 +52,12 @@ __all__ = [
     "VariantCaller",
     "apply_filters",
     "decide_allele",
+    "evaluate_batch",
     "evaluate_column",
     "evaluate_columns_batched",
     "exact_allele_decision",
+    "exact_batch",
+    "screen_batch",
     "filter_once",
     "filter_twice",
 ]

@@ -6,66 +6,83 @@ screen costs one interpreter round-trip per allele -- at realistic
 depths the screening *overhead* dominates, inverting the paper's
 Figure 2 profile where the exact DP is the expensive stage.
 
-This engine restores the intended profile by batching the screen
-across a whole chunk of columns:
+This engine restores the intended profile by keeping the whole call
+path in array sweeps over a structure-of-arrays
+:class:`~repro.pileup.column.ColumnBatch`:
 
-1. one pass over the columns gathers every (column, candidate-allele)
-   pair into flat arrays -- tail point ``k``, per-column
-   ``lambda = sum p_i`` (computed once per column and shared by its
-   alleles; for pure base-quality models it comes straight from a
-   uint8 quality histogram dotted with a 256-entry Phred lookup
-   table, so screened-out columns never materialise a float64
-   probability vector at all), and column depth;
-2. :func:`~repro.stats.approximation.poisson_tail_approx_batch`
-   evaluates ``p-hat`` for *every* pair in a handful of masked array
-   sweeps, and the depth-dependent margin is applied vectorially;
-3. only the screening survivors materialise their error-probability
-   vector (via the lookup table -- bitwise identical to the scalar
-   expression, since uint8 qualities admit only 256 inputs) and fall
-   back to the per-allele exact DP loop -- the *same*
-   :func:`~repro.core.workflow.exact_allele_decision` the streaming
-   engine runs, so every emitted call is byte-identical.
+1. :func:`screen_batch` derives per-column base counts, candidate
+   gating and the screening ``lambda`` from fused bincounts over the
+   batch's flat arrays (for pure base-quality models a
+   (column, code, phred) histogram dotted with a 256-entry Phred
+   lookup table; with ``merge_mapq`` a per-base gather through the
+   fused 256 x 256 (base quality x mapping quality) table,
+   sum-reduced per column), then skips every clearly-insignificant
+   (column, candidate-allele) pair in a handful of masked array
+   sweeps via
+   :func:`~repro.stats.approximation.poisson_tail_approx_batch`;
+2. :func:`exact_batch` runs the screening survivors through the
+   *batched* exact Poisson-binomial DP
+   (:func:`~repro.stats.poisson_binomial.poibin_sf_dp_batch`) --
+   survivors' probability rows are gathered straight from the batch's
+   flat quality planes, and the emitted
+   :class:`~repro.core.results.VariantCall` records (p-values, DP4,
+   strand bias) are assembled from array slices.
+
+No :class:`~repro.pileup.column.PileupColumn` object is constructed
+anywhere on this path -- not for screened-out columns, not for
+exact-stage survivors, not under ``merge_mapq`` (regression-tested by
+a constructor census in ``tests/test_engine_equivalence.py``).
 
 Equivalence guarantee
 ---------------------
 The paper's "only false negatives with respect to the original"
 property rests on the skip decision, so the decision itself must not
-drift between engines.  The batch kernel replays the scalar gamma
-series / continued fraction elementwise and agrees with the scalar
-path bit-for-bit on ~98% of inputs and to ~1e-15 otherwise; any pair
-whose corrected ``p-hat`` lands within :data:`GUARD_BAND` of the skip
-threshold is re-decided with the scalar
-:func:`~repro.stats.approximation.poisson_tail_approx` -- the
-authoritative tie-breaker.  Decisions (and therefore calls and
-:class:`~repro.core.results.RunStats` censuses) are thus identical to
-the streaming engine on every input, not just statistically close.
+drift between engines.  Two mechanisms keep the engines byte-identical
+on every input, not just statistically close:
+
+* the screening kernel replays the scalar gamma series / continued
+  fraction elementwise and agrees with the scalar path bit-for-bit on
+  ~98% of inputs and to ~1e-15 otherwise; any pair whose corrected
+  ``p-hat`` lands within :data:`GUARD_BAND` of the skip threshold is
+  re-decided with the scalar
+  :func:`~repro.stats.approximation.poisson_tail_approx` -- the
+  authoritative tie-breaker (this also covers the histogram/gather
+  ``lambda``, whose summation order differs from the streaming
+  ``probs.sum()`` by a few ulps);
+* the exact stage needs no guard band at all:
+  :func:`~repro.stats.poisson_binomial.poibin_sf_dp_batch` is
+  bit-for-bit the scalar DP per lane (see its docstring), and its
+  probability rows come from lookup tables built with the verbatim
+  scalar error-model expression
+  (:func:`~repro.core.model.allele_error_probabilities_batch`), so
+  p-values, early-stop step counts and decision censuses match the
+  streaming engine exactly.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import CallerConfig
-from repro.core.model import (
-    MISCALL_FRACTION,
-    allele_error_probabilities,
-    candidate_alleles,
-)
+from repro.core.model import allele_error_probabilities_batch
 from repro.core.results import ColumnDecision, RunStats, VariantCall
-from repro.core.workflow import exact_allele_decision
-from repro.pileup.column import ColumnBatch, PileupColumn
+from repro.pileup.column import CODE_TO_BASE, ColumnBatch, PileupColumn
 from repro.stats.approximation import (
     poisson_tail_approx,
     poisson_tail_approx_batch,
 )
+from repro.stats.fisher import strand_bias_phred
+from repro.stats.poisson_binomial import poibin_sf_dp_batch
 
 __all__ = [
     "GUARD_BAND",
     "evaluate_batch",
     "evaluate_columns_batched",
+    "exact_batch",
     "batch_margins",
+    "merged_qual_prob_table",
     "qual_prob_table",
     "screen_batch",
 ]
@@ -82,29 +99,66 @@ GUARD_BAND = 1e-6
 #: columns rather than the whole region.
 BATCH_COLUMNS = 1024
 
+#: Ceiling on the survivor-plane size (lanes x reads, float64) handed
+#: to one :func:`poibin_sf_dp_batch` call: 2^23 elements = 64 MiB.
+#: Keeps the exact stage's memory a constant regardless of how deep
+#: or numerous the survivors are.
+PLANE_ELEMENTS = 1 << 23
+
+#: Ceiling on a chunk's DP head state (lanes x chunk k_max): every
+#: sweep step costs one fused pass over this many elements, so the
+#: bound keeps steps cheap *and* forces high-k lanes (strong variants,
+#: k in the hundreds) into their own narrow chunks instead of widening
+#: every error-candidate lane's k=2 head.
+HEAD_ELEMENTS = 1 << 15
+
 
 _QUAL_PROBS: Optional[np.ndarray] = None
+_MERGED_PROBS: Optional[np.ndarray] = None
 
 
 def qual_prob_table() -> np.ndarray:
     """Specific-allele error probability for every possible uint8 Phred
     score: ``10**(-q/10) * (1/3)``.
 
-    Built with the exact expression
-    :meth:`~repro.pileup.column.PileupColumn.error_probabilities` plus
-    the miscall factor apply elementwise, so ``table[column.quals]`` is
-    bitwise identical to
+    Built with the exact elementwise expression of the scalar error
+    model (:func:`~repro.core.model.allele_error_probabilities_batch`),
+    so ``table[quals]`` is bitwise identical to
     :func:`~repro.core.model.allele_error_probabilities` -- which is
     what lets the exact DP run on table-derived vectors without
     perturbing a single output bit.  (Read-only; one shared instance.)
     """
     global _QUAL_PROBS
     if _QUAL_PROBS is None:
-        q = np.arange(256).astype(np.float64)
-        table = np.power(10.0, -q / 10.0) * MISCALL_FRACTION
+        table = allele_error_probabilities_batch(
+            np.arange(256, dtype=np.uint8)
+        )
         table.setflags(write=False)
         _QUAL_PROBS = table
     return _QUAL_PROBS
+
+
+def merged_qual_prob_table() -> np.ndarray:
+    """The ``merge_mapq`` twin of :func:`qual_prob_table`: a 256 x 256
+    table over (base quality, mapping quality) pairs, holding
+    ``(1 - (1-p_base)(1-p_map)) / 3``.
+
+    uint8 qualities admit only 65536 input pairs, so
+    ``table[quals, mapqs]`` reproduces
+    ``allele_error_probabilities(column, merge_mapq=True)`` bitwise --
+    mapping-quality merging is a pure function of the two qualities,
+    which is what keeps the merged model columnar end to end (the
+    pre-PR-4 engine fell back to per-column gathering here).
+    """
+    global _MERGED_PROBS
+    if _MERGED_PROBS is None:
+        grid = np.arange(256, dtype=np.uint8)
+        table = allele_error_probabilities_batch(
+            grid[:, None], grid[None, :]
+        )
+        table.setflags(write=False)
+        _MERGED_PROBS = table
+    return _MERGED_PROBS
 
 
 def batch_margins(depths: np.ndarray, config: CallerConfig) -> np.ndarray:
@@ -119,139 +173,17 @@ def batch_margins(depths: np.ndarray, config: CallerConfig) -> np.ndarray:
     return margins
 
 
-class _ColumnJob:
-    """One column's shared screening state.
-
-    The error-probability vector is materialised lazily: a column whose
-    every allele is screened out never builds it (its lambda comes from
-    the quality histogram instead), which is where a large part of the
-    engine's win over the streaming path comes from.
-    """
-
-    __slots__ = ("column", "_probs")
-
-    def __init__(
-        self, column: PileupColumn, probs: Optional[np.ndarray] = None
-    ) -> None:
-        self.column = column
-        self._probs = probs
-
-    @property
-    def probs(self) -> np.ndarray:
-        if self._probs is None:
-            self._probs = qual_prob_table()[self.column.quals]
-        return self._probs
-
-
-class _Pair:
-    """One gathered (column, candidate-allele) pair."""
-
-    __slots__ = ("job", "alt_code", "alt_count", "lam")
-
-    def __init__(
-        self,
-        job: _ColumnJob,
-        alt_code: int,
-        alt_count: int,
-        lam: Optional[float],
-    ) -> None:
-        self.job = job
-        self.alt_code = alt_code
-        self.alt_count = alt_count
-        self.lam = lam
-
-    @property
-    def column(self) -> PileupColumn:
-        return self.job.column
-
-    @property
-    def probs(self) -> np.ndarray:
-        return self.job.probs
-
-
-def _gather(
-    columns: Iterable[PileupColumn],
-    config: CallerConfig,
-    stats: RunStats,
-) -> tuple:
-    """Column pass: coverage / candidate gating, error-model vectors,
-    per-column lambda.  Returns (screened pairs, direct-to-exact pairs).
-    """
-    screened: List[_Pair] = []
-    direct: List[_Pair] = []
-    table = None if config.merge_mapq else qual_prob_table()
-    for column in columns:
-        stats.columns_seen += 1
-        if column.depth < config.min_coverage:
-            stats.record_decision(ColumnDecision.LOW_COVERAGE)
-            continue
-        candidates = candidate_alleles(column)
-        if not candidates:
-            stats.record_decision(ColumnDecision.NO_CANDIDATE)
-            continue
-        screen = (
-            config.use_approximation
-            and column.depth >= config.approx_min_depth
-        )
-        if table is None:
-            # Mapping-quality merging is a per-read combination of two
-            # qualities, not a pure function of the base quality --
-            # materialise through the scalar path up front.
-            probs = allele_error_probabilities(column, merge_mapq=True)
-            job = _ColumnJob(column, probs)
-            lam = float(probs.sum()) if screen else None
-        else:
-            job = _ColumnJob(column)
-            # lambda from the quality histogram: O(depth) uint8
-            # bincount + a 256-element dot, no float64 vector built.
-            # Agrees with the streaming sum to the last few ulps;
-            # the guard band re-decides anything that close to the
-            # threshold, so skip decisions still match exactly.
-            lam = (
-                float(np.bincount(column.quals, minlength=256) @ table)
-                if screen
-                else None
-            )
-        for alt_code, alt_count in candidates:
-            stats.tests_run += 1
-            pair = _Pair(job, alt_code, alt_count, lam)
-            if screen:
-                stats.approx_invocations += 1
-                screened.append(pair)
-            else:
-                direct.append(pair)
-    return screened, direct
-
-
-def _screen(
-    pairs: List[_Pair],
-    corrected_alpha: float,
-    config: CallerConfig,
-    stats: RunStats,
+def _column_probs(
+    batch: ColumnBatch, col: int, merge_mapq: bool
 ) -> np.ndarray:
-    """The vectorised first pass: skip mask over ``pairs``.
-
-    Pairs within :data:`GUARD_BAND` of the threshold are re-decided
-    with the scalar path so the mask matches the streaming engine's
-    decisions exactly.
-    """
-    ks = np.array([p.alt_count for p in pairs], dtype=np.float64)
-    lams = np.array([p.lam for p in pairs], dtype=np.float64)
-    depths = np.array([p.column.depth for p in pairs], dtype=np.float64)
-    p_hat = poisson_tail_approx_batch(ks, lams)
-    p_hat_corrected = np.minimum(
-        1.0, p_hat / corrected_alpha * config.alpha
-    )
-    thresholds = config.alpha + batch_margins(depths, config)
-    skip = p_hat_corrected >= thresholds
-    near = np.abs(p_hat_corrected - thresholds) < GUARD_BAND
-    for i in np.nonzero(near)[0]:
-        pair = pairs[i]
-        exact_p_hat = poisson_tail_approx(pair.alt_count, pair.probs)
-        corrected = min(1.0, exact_p_hat / corrected_alpha * config.alpha)
-        margin = config.margin_for_depth(pair.column.depth)
-        skip[i] = corrected >= config.alpha + margin
-    return skip
+    """One column's per-read error-probability vector, gathered from
+    the quality planes (bitwise identical to the streaming model)."""
+    lo, hi = int(batch.offsets[col]), int(batch.offsets[col + 1])
+    if merge_mapq:
+        return merged_qual_prob_table()[
+            batch.quals[lo:hi], batch.mapqs[lo:hi]
+        ]
+    return qual_prob_table()[batch.quals[lo:hi]]
 
 
 def screen_batch(
@@ -270,14 +202,17 @@ def screen_batch(
     allele is screened out costs no object construction at all.  Only
     the guard-band re-decisions touch a single column's quality slice.
 
+    ``merge_mapq`` models are screened columnar too: the per-column
+    ``lambda`` becomes a sum-reduction of the fused
+    (base quality x mapping quality) table gathered over the flat
+    planes, instead of the (column, code, phred) histogram dot.
+
     Args:
         batch: the columns under test, in stored order.
         corrected_alpha: per-test raw-p-value threshold.
-        config: workflow parameters; ``config.merge_mapq`` callers
-            must use the per-column path instead (mapping-quality
-            merging is not a pure function of the base quality).
+        config: workflow parameters.
         stats: counters, mutated in place with the same censuses the
-            per-column gather would record.
+            streaming engine would record.
 
     Returns:
         Surviving ``(column index, alt_code, alt_count)`` triples --
@@ -291,18 +226,21 @@ def screen_batch(
     low = depths < config.min_coverage
     stats.record_decisions(ColumnDecision.LOW_COVERAGE, int(low.sum()))
 
-    # One fused bincount yields both per-column histograms the screen
-    # needs: (column, code, phred) keys, reduced to base counts and
-    # quality histograms.  32-bit keys keep the pass memory-bound on
-    # half the bytes; they fit for every batch below ~1.6M columns
-    # (far above evaluate_batch's BATCH_COLUMNS slices), and 64-bit
-    # keys keep direct callers with huge batches correct.
-    key_dtype = np.int32 if n * 1280 <= np.iinfo(np.int32).max else np.int64
-    col_of = np.repeat(np.arange(n, dtype=key_dtype), depths)
+    merge = config.merge_mapq
     screen_possible = config.use_approximation and bool(
         (depths >= config.approx_min_depth).any()
     )
-    if screen_possible:
+    # One fused bincount yields both per-column histograms the
+    # base-quality screen needs: (column, code, phred) keys, reduced
+    # to base counts and quality histograms.  32-bit keys keep the
+    # pass memory-bound on half the bytes; they fit for every batch
+    # below ~1.6M columns (far above evaluate_batch's BATCH_COLUMNS
+    # slices), and 64-bit keys keep direct callers with huge batches
+    # correct.  The merged model takes its lambda from the 2-D table
+    # instead, so it only needs the plain (column, code) counts.
+    key_dtype = np.int32 if n * 1280 <= np.iinfo(np.int32).max else np.int64
+    col_of = np.repeat(np.arange(n, dtype=key_dtype), depths)
+    if screen_possible and not merge:
         key = col_of * key_dtype(1280)
         key += batch.base_codes.astype(key_dtype) * key_dtype(256)
         key += batch.quals
@@ -338,13 +276,21 @@ def screen_batch(
 
     keep = ~is_screen
     if is_screen.any():
-        table = qual_prob_table()
-        # Per-column lambda from the quality histogram: counts per
-        # (column, phred) dotted with the 256-entry probability table.
-        # Same histogram lambda as the per-column gather; the guard
-        # band below re-decides anything within numerical shouting
-        # distance of the threshold.
-        lam_col = qhist @ table
+        # Per-column lambda: for the base-quality model, counts per
+        # (column, phred) dotted with the 256-entry probability
+        # table; for the merged model, the fused 2-D table gathered
+        # per base and sum-reduced per column.  Either agrees with
+        # the streaming ``probs.sum()`` to the last few ulps; the
+        # guard band below re-decides anything within numerical
+        # shouting distance of the threshold.
+        if merge:
+            lam_col = np.bincount(
+                col_of,
+                weights=merged_qual_prob_table()[batch.quals, batch.mapqs],
+                minlength=n,
+            )
+        else:
+            lam_col = qhist @ qual_prob_table()
         s_idx = np.nonzero(is_screen)[0]
         s_col = pair_col[s_idx]
         ks = pair_count[s_idx].astype(np.float64)
@@ -355,10 +301,9 @@ def screen_batch(
         )
         skip = corrected >= thresholds
         near = np.abs(corrected - thresholds) < GUARD_BAND
-        offsets = batch.offsets
         for i in np.nonzero(near)[0]:
             ci = int(s_col[i])
-            probs = table[batch.quals[offsets[ci] : offsets[ci + 1]]]
+            probs = _column_probs(batch, ci, merge)
             exact_p_hat = poisson_tail_approx(int(ks[i]), probs)
             exact_corrected = min(
                 1.0, exact_p_hat / corrected_alpha * config.alpha
@@ -379,6 +324,177 @@ def screen_batch(
     )
 
 
+def _dp4(
+    batch: ColumnBatch, col: int, ref_code: int, alt_code: int
+) -> Tuple[int, int, int, int]:
+    """LoFreq's DP4 (ref-fwd, ref-rev, alt-fwd, alt-rev) for one
+    column of the batch, from flat-array slices."""
+    lo, hi = int(batch.offsets[col]), int(batch.offsets[col + 1])
+    codes = batch.base_codes[lo:hi]
+    rev = batch.reverse[lo:hi]
+    ref_mask = codes == ref_code
+    alt_mask = codes == alt_code
+    rr = int(np.sum(ref_mask & rev))
+    rf = int(np.sum(ref_mask)) - rr
+    ar = int(np.sum(alt_mask & rev))
+    af = int(np.sum(alt_mask)) - ar
+    return rf, rr, af, ar
+
+
+def exact_batch(
+    batch: ColumnBatch,
+    survivors: List[tuple],
+    corrected_alpha: float,
+    config: CallerConfig,
+    stats: RunStats,
+) -> List[VariantCall]:
+    """The batch-native exact stage: run every screening survivor
+    through the batched Poisson-binomial DP and build the calls from
+    arrays.
+
+    Survivor probability rows are gathered straight from the batch's
+    flat quality planes (Phred LUT, or the fused (base x mapping)
+    quality table under ``merge_mapq``) into a zero-padded plane;
+    :func:`~repro.stats.poisson_binomial.poibin_sf_dp_batch` then
+    replays the scalar pruned DP bit-for-bit across all lanes at
+    once, so p-values, early-stop step counts and the decision census
+    are exactly the streaming engine's.  Survivors are processed in
+    depth-sorted chunks capped at :data:`PLANE_ELEMENTS` plane cells,
+    bounding memory independently of survivor depth.
+
+    Only pairs that reach an emitted call touch the strand plane (for
+    DP4 / strand bias) -- and no
+    :class:`~repro.pileup.column.PileupColumn` is built for any of it.
+
+    Args:
+        batch: the columns the ``survivors`` indices refer to.
+        survivors: ``(column index, alt_code, alt_count)`` triples,
+            as returned by :func:`screen_batch`.
+        corrected_alpha: per-test raw-p-value threshold.
+        config: workflow parameters.
+        stats: counters, mutated in place.
+
+    Returns:
+        The emitted calls (unsorted; the caller sorts).
+    """
+    calls: List[VariantCall] = []
+    if not survivors:
+        return calls
+    pair_col = np.array([s[0] for s in survivors], dtype=np.int64)
+    pair_code = np.array([s[1] for s in survivors], dtype=np.int64)
+    pair_count = np.array([s[2] for s in survivors], dtype=np.int64)
+    d_pair = batch.depths[pair_col]
+    offsets = batch.offsets
+    merge = config.merge_mapq
+    prune = corrected_alpha if config.early_stop else None
+    ref_codes: Optional[np.ndarray] = None
+
+    # When survivors cover a sizeable fraction of the batch (the
+    # no-approximation regime), one whole-plane table gather beats a
+    # per-column gather apiece; otherwise stay sparse.
+    survivor_bases = int(
+        np.diff(offsets)[np.unique(pair_col)].sum()
+    )
+    probs_flat: Optional[np.ndarray] = None
+    if survivor_bases * 4 >= int(offsets[-1]):
+        if merge:
+            probs_flat = merged_qual_prob_table()[batch.quals, batch.mapqs]
+        else:
+            probs_flat = qual_prob_table()[batch.quals]
+
+    # Survivors are chunked sorted by (k, depth): each step of the
+    # batch DP costs (lanes x chunk k_max), so chunks grow greedily
+    # under the head-state budget -- a lone high-k lane (a strong
+    # variant among k=2 error candidates) lands in its own narrow
+    # chunk instead of widening every other lane's head -- and under
+    # the plane-cell budget, which bounds memory for deep survivors.
+    order = np.lexsort((d_pair, pair_count))
+    lo = 0
+    while lo < order.size:
+        k_max = int(pair_count[order[lo]])
+        d_max = int(d_pair[order[lo]])
+        hi = lo + 1
+        while hi < order.size:
+            k_next = max(k_max, int(pair_count[order[hi]]))
+            d_next = max(d_max, int(d_pair[order[hi]]))
+            rows_next = hi + 1 - lo
+            if (
+                rows_next * k_next > HEAD_ELEMENTS
+                or rows_next * d_next > PLANE_ELEMENTS
+            ):
+                break
+            k_max = k_next
+            d_max = d_next
+            hi += 1
+        rows = order[lo:hi]
+        lo = hi
+        cols = pair_col[rows]
+        ks = pair_count[rows]
+        lens = d_pair[rows]
+        plane = np.zeros((rows.size, int(lens.max())), dtype=np.float64)
+        row_cache: dict = {}
+        for r, ci in enumerate(cols.tolist()):
+            probs = row_cache.get(ci)
+            if probs is None:
+                if probs_flat is not None:
+                    probs = probs_flat[
+                        int(offsets[ci]) : int(offsets[ci + 1])
+                    ]
+                else:
+                    probs = _column_probs(batch, ci, merge)
+                row_cache[ci] = probs
+            plane[r, : probs.size] = probs
+        res = poibin_sf_dp_batch(ks, plane, lens, prune_above=prune)
+        stats.dp_invocations += rows.size
+        stats.dp_steps += int(res.steps.sum())
+
+        complete = res.complete
+        pvalues = res.pvalues
+        stats.record_decisions(
+            ColumnDecision.EXACT_PRUNED, int((~complete).sum())
+        )
+        significant = complete & (pvalues < corrected_alpha)
+        stats.record_decisions(
+            ColumnDecision.EXACT_NOT_SIGNIFICANT,
+            int((complete & ~significant).sum()),
+        )
+        af = ks / lens
+        rejected = significant & (
+            (ks < config.min_alt_count) | (af < config.min_af)
+        )
+        stats.record_decisions(
+            ColumnDecision.REJECTED_FILTER, int(rejected.sum())
+        )
+        called = significant & ~rejected
+        stats.record_decisions(ColumnDecision.CALLED, int(called.sum()))
+        for j in np.nonzero(called)[0]:
+            ci = int(cols[j])
+            if ref_codes is None:
+                ref_codes = batch.ref_codes.astype(np.int64)
+            alt_code = int(pair_code[rows[j]])
+            pvalue = float(pvalues[j])
+            dp4 = _dp4(batch, ci, int(ref_codes[ci]), alt_code)
+            calls.append(
+                VariantCall(
+                    chrom=batch.chrom,
+                    pos=int(batch.positions[ci]),
+                    ref=batch.ref_bases[ci],
+                    alt=CODE_TO_BASE[alt_code],
+                    pvalue=pvalue,
+                    corrected_pvalue=min(
+                        1.0, pvalue / corrected_alpha * config.alpha
+                    ),
+                    depth=int(lens[j]),
+                    alt_count=int(ks[j]),
+                    af=float(af[j]),
+                    dp4=dp4,
+                    strand_bias=strand_bias_phred(*dp4),
+                    used_exact=True,
+                )
+            )
+    return calls
+
+
 def evaluate_batch(
     batch: ColumnBatch,
     corrected_alpha: float,
@@ -387,24 +503,14 @@ def evaluate_batch(
 ) -> List[VariantCall]:
     """Evaluate one :class:`~repro.pileup.column.ColumnBatch` natively.
 
-    The columnar twin of :func:`evaluate_columns_batched`: the gather
-    pass is array slicing over the batch (:func:`screen_batch`), so
-    screened-out columns never materialise any per-column Python
-    object; only exact-DP survivors are lifted to
-    :class:`PileupColumn` (one shared lift per surviving column) and
-    run through the identical
-    :func:`~repro.core.workflow.exact_allele_decision`.  Calls,
-    decisions and censuses match the per-column path -- and therefore
-    the streaming engine -- exactly.
-
-    ``merge_mapq`` configurations fall back to the per-column gather
-    (mapping-quality merging needs every read's two qualities up
-    front, which defeats the columnar screen).
+    The whole Figure 1b workflow as array passes: the gather/screen
+    stage is :func:`screen_batch`, the exact stage is
+    :func:`exact_batch` -- so neither screened-out columns nor
+    exact-DP survivors materialise any per-column Python object, under
+    every configuration including ``merge_mapq``.  Calls, decisions
+    and censuses match the streaming engine exactly (see the module
+    docstring for why).
     """
-    if config.merge_mapq:
-        return evaluate_columns_batched(
-            batch.columns(), corrected_alpha, config, stats
-        )
     if batch.n_columns > BATCH_COLUMNS:
         # Bound the screen's per-column histograms (256 bins each) to
         # a constant number of columns, exactly like the loose-column
@@ -423,24 +529,7 @@ def evaluate_batch(
             )
         return calls
     survivors = screen_batch(batch, corrected_alpha, config, stats)
-    calls: List[VariantCall] = []
-    jobs: dict = {}
-    for col_idx, alt_code, alt_count in survivors:
-        job = jobs.get(col_idx)
-        if job is None:
-            jobs[col_idx] = job = _ColumnJob(batch.column(col_idx))
-        outcome = exact_allele_decision(
-            job.column,
-            alt_code,
-            alt_count,
-            job.probs,
-            corrected_alpha,
-            config,
-            stats,
-        )
-        if outcome.call is not None:
-            calls.append(outcome.call)
-    return calls
+    return exact_batch(batch, survivors, corrected_alpha, config, stats)
 
 
 def evaluate_columns_batched(
@@ -452,8 +541,16 @@ def evaluate_columns_batched(
     """Chunk-level equivalent of looping
     :func:`~repro.core.workflow.evaluate_column` over ``columns``.
 
+    Compatibility shim for loose per-column inputs: consecutive
+    same-chromosome runs are packed into a
+    :class:`~repro.pileup.column.ColumnBatch`
+    (:meth:`~repro.pileup.column.ColumnBatch.from_columns`) and fed to
+    :func:`evaluate_batch`, so loose columns and native batches run
+    the identical columnar engine.
+
     Args:
-        columns: the chunk's pileup columns, any order.
+        columns: the chunk's pileup columns, any order (a chromosome
+            change starts a new pack).
         corrected_alpha: per-test raw-p-value threshold.
         config: workflow parameters (``config.engine`` is not consulted
             here -- dispatch happens in the caller).
@@ -463,27 +560,24 @@ def evaluate_columns_batched(
     Returns:
         The emitted calls (unsorted; the caller sorts).
     """
-    screened, direct = _gather(columns, config, stats)
-    survivors: List[_Pair] = list(direct)
-    if screened:
-        skip = _screen(screened, corrected_alpha, config, stats)
-        for pair, skipped in zip(screened, skip):
-            if skipped:
-                stats.exact_skipped += 1
-                stats.record_decision(ColumnDecision.SKIPPED_APPROX)
-            else:
-                survivors.append(pair)
     calls: List[VariantCall] = []
-    for pair in survivors:
-        outcome = exact_allele_decision(
-            pair.column,
-            pair.alt_code,
-            pair.alt_count,
-            pair.probs,
-            corrected_alpha,
-            config,
-            stats,
+    run: List[PileupColumn] = []
+    for column in columns:
+        if run and column.chrom != run[0].chrom:
+            calls.extend(
+                evaluate_batch(
+                    ColumnBatch.from_columns(run),
+                    corrected_alpha,
+                    config,
+                    stats,
+                )
+            )
+            run = []
+        run.append(column)
+    if run:
+        calls.extend(
+            evaluate_batch(
+                ColumnBatch.from_columns(run), corrected_alpha, config, stats
+            )
         )
-        if outcome.call is not None:
-            calls.append(outcome.call)
     return calls

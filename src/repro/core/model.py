@@ -18,13 +18,17 @@ the regime low-frequency SNVs live in.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.pileup.column import PileupColumn
 
-__all__ = ["allele_error_probabilities", "candidate_alleles"]
+__all__ = [
+    "allele_error_probabilities",
+    "allele_error_probabilities_batch",
+    "candidate_alleles",
+]
 
 #: A miscall lands on one specific wrong base 1/3 of the time.
 MISCALL_FRACTION = 1.0 / 3.0
@@ -40,6 +44,34 @@ def allele_error_probabilities(
     depend on which wrong base a read would produce).
     """
     return column.error_probabilities(merge_mapq=merge_mapq) * MISCALL_FRACTION
+
+
+def allele_error_probabilities_batch(
+    quals: np.ndarray, mapqs: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Array-native twin of :func:`allele_error_probabilities`.
+
+    Computes ``p_i / 3`` straight from quality arrays -- any shape, so
+    the batched engine can evaluate a whole span's flat quality plane
+    (or a 256 x 256 grid of all possible quality pairs) in one call.
+    The elementwise expression is the scalar model's verbatim
+    (``10**(-Q/10)``, the independent-error mapq merge, the miscall
+    factor), so for matching inputs the outputs are **bitwise**
+    identical to the column-based path -- which is what lets
+    table-derived vectors feed the exact DP without perturbing a
+    single output bit.
+
+    Args:
+        quals: uint8 Phred base qualities (any shape).
+        mapqs: optional parallel mapping qualities; when given, the
+            mapping error is folded in as an independent error source
+            (``p = 1 - (1-p_base)(1-p_map)``), LoFreq's ``-m`` merge.
+    """
+    p = np.power(10.0, -np.asarray(quals).astype(np.float64) / 10.0)
+    if mapqs is not None:
+        pm = np.power(10.0, -np.asarray(mapqs).astype(np.float64) / 10.0)
+        p = 1.0 - (1.0 - p) * (1.0 - pm)
+    return p * MISCALL_FRACTION
 
 
 def candidate_alleles(column: PileupColumn) -> List[Tuple[int, int]]:

@@ -13,12 +13,18 @@ columnar pipeline (BAM decode -> batched screen); per-column
 :class:`PileupColumn` objects are only materialised on demand through
 :meth:`ColumnBatch.columns` / :meth:`ColumnBatch.column`, whose views
 slice the shared flat arrays without copying.
+
+The screen reads only base codes and qualities, so a batch may carry
+its strand/mapq planes *lazily*: producers pass a ``planes`` thunk
+instead of the arrays, and the scatters run only if something (the
+``merge_mapq`` error model, a called pair's DP4, a per-column view)
+actually touches :attr:`ColumnBatch.reverse` / :attr:`ColumnBatch.mapqs`.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterator, Sequence, Tuple
+from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -162,7 +168,6 @@ class PileupColumn:
         )
 
 
-@dataclasses.dataclass
 class ColumnBatch:
     """Structure-of-arrays pileup over a span of reference positions.
 
@@ -188,26 +193,51 @@ class ColumnBatch:
             base count.
         n_capped: int64 per-column count of reads dropped by the
             depth cap.
+
+    The strand/mapq planes may be deferred: pass ``planes`` (a
+    zero-argument callable returning the ``(reverse, mapqs)`` pair)
+    instead of the two arrays, and they are built on first attribute
+    access.  The batched screen never touches them for a fully
+    screened-out span, so the scatters are skipped entirely there;
+    :attr:`planes_materialised` reports whether they have been built.
     """
 
-    chrom: str
-    positions: np.ndarray
-    ref_bases: str
-    base_codes: np.ndarray
-    quals: np.ndarray
-    reverse: np.ndarray
-    mapqs: np.ndarray
-    offsets: np.ndarray
-    n_capped: np.ndarray
+    __slots__ = (
+        "chrom",
+        "positions",
+        "ref_bases",
+        "base_codes",
+        "quals",
+        "offsets",
+        "n_capped",
+        "_reverse",
+        "_mapqs",
+        "_planes",
+    )
 
-    def __post_init__(self) -> None:
-        self.positions = np.asarray(self.positions, dtype=np.int64)
-        self.base_codes = np.asarray(self.base_codes, dtype=np.uint8)
-        self.quals = np.asarray(self.quals, dtype=np.uint8)
-        self.reverse = np.asarray(self.reverse, dtype=bool)
-        self.mapqs = np.asarray(self.mapqs, dtype=np.uint8)
-        self.offsets = np.asarray(self.offsets, dtype=np.int64)
-        self.n_capped = np.asarray(self.n_capped, dtype=np.int64)
+    def __init__(
+        self,
+        chrom: str,
+        positions: np.ndarray,
+        ref_bases: str,
+        base_codes: np.ndarray,
+        quals: np.ndarray,
+        reverse: Optional[np.ndarray] = None,
+        mapqs: Optional[np.ndarray] = None,
+        offsets: Optional[np.ndarray] = None,
+        n_capped: Optional[np.ndarray] = None,
+        *,
+        planes: Optional[Callable[[], Tuple[np.ndarray, np.ndarray]]] = None,
+    ) -> None:
+        if offsets is None or n_capped is None:
+            raise ValueError("offsets and n_capped are required")
+        self.chrom = chrom
+        self.positions = np.asarray(positions, dtype=np.int64)
+        self.ref_bases = ref_bases
+        self.base_codes = np.asarray(base_codes, dtype=np.uint8)
+        self.quals = np.asarray(quals, dtype=np.uint8)
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+        self.n_capped = np.asarray(n_capped, dtype=np.int64)
         n = self.positions.size
         total = self.base_codes.size
         if len(self.ref_bases) != n:
@@ -218,10 +248,54 @@ class ColumnBatch:
             raise ValueError("offsets must span the flat arrays exactly")
         if not n and total:
             raise ValueError("flat bases present but no columns declared")
-        if not (
-            self.quals.size == self.reverse.size == self.mapqs.size == total
-        ):
+        if self.quals.size != total:
             raise ValueError("batch flat arrays must be parallel")
+        if planes is not None:
+            if reverse is not None or mapqs is not None:
+                raise ValueError(
+                    "pass either reverse/mapqs arrays or a planes thunk"
+                )
+            self._reverse = None
+            self._mapqs = None
+            self._planes = planes
+        else:
+            if reverse is None or mapqs is None:
+                raise ValueError(
+                    "reverse and mapqs are required without a planes thunk"
+                )
+            self._planes = None
+            self._set_planes(reverse, mapqs)
+
+    def _set_planes(self, reverse: np.ndarray, mapqs: np.ndarray) -> None:
+        self._reverse = np.asarray(reverse, dtype=bool)
+        self._mapqs = np.asarray(mapqs, dtype=np.uint8)
+        total = self.base_codes.size
+        if not (self._reverse.size == self._mapqs.size == total):
+            raise ValueError("batch flat arrays must be parallel")
+
+    def _materialise_planes(self) -> None:
+        if self._reverse is None:
+            planes = self._planes
+            self._planes = None
+            self._set_planes(*planes())
+
+    @property
+    def planes_materialised(self) -> bool:
+        """Whether the strand/mapq planes have been built."""
+        return self._reverse is not None
+
+    @property
+    def reverse(self) -> np.ndarray:
+        """bool flat strand array (built on first access when lazy)."""
+        self._materialise_planes()
+        return self._reverse
+
+    @property
+    def mapqs(self) -> np.ndarray:
+        """uint8 flat mapping qualities (built on first access when
+        lazy)."""
+        self._materialise_planes()
+        return self._mapqs
 
     @property
     def n_columns(self) -> int:
@@ -264,19 +338,31 @@ class ColumnBatch:
 
     def slice_columns(self, lo: int, hi: int) -> "ColumnBatch":
         """The sub-batch of columns ``lo:hi`` -- flat arrays are
-        zero-copy views; only the rebased offsets are allocated."""
+        zero-copy views; only the rebased offsets are allocated.
+        Un-materialised strand/mapq planes stay lazy: the sub-batch
+        defers to this batch's planes on first access."""
         off = self.offsets[lo : hi + 1]
         flo, fhi = int(off[0]), int(off[-1])
+        if self.planes_materialised:
+            plane_kwargs = dict(
+                reverse=self._reverse[flo:fhi], mapqs=self._mapqs[flo:fhi]
+            )
+        else:
+            plane_kwargs = dict(
+                planes=lambda: (
+                    self.reverse[flo:fhi],
+                    self.mapqs[flo:fhi],
+                )
+            )
         return ColumnBatch(
             chrom=self.chrom,
             positions=self.positions[lo:hi],
             ref_bases=self.ref_bases[lo:hi],
             base_codes=self.base_codes[flo:fhi],
             quals=self.quals[flo:fhi],
-            reverse=self.reverse[flo:fhi],
-            mapqs=self.mapqs[flo:fhi],
             offsets=off - flo,
             n_capped=self.n_capped[lo:hi],
+            **plane_kwargs,
         )
 
     @classmethod

@@ -28,7 +28,7 @@ the measured runtimes.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -65,10 +65,12 @@ def _batch_from_flat(
     positions: np.ndarray,
     codes: np.ndarray,
     quals: np.ndarray,
-    reverse: np.ndarray,
-    mapqs: np.ndarray,
+    reverse: Optional[np.ndarray],
+    mapqs: Optional[np.ndarray],
     reference: str,
     cfg: PileupConfig,
+    *,
+    planes: Optional[Callable[[], Tuple[np.ndarray, np.ndarray]]] = None,
 ) -> ColumnBatch:
     """Assemble a batch from flat per-base arrays.
 
@@ -76,6 +78,12 @@ def _batch_from_flat(
     column, bases appear in read-deposit order -- that ordering is what
     makes the depth cap (keep the first ``max_depth``) agree with the
     streaming engine exactly.
+
+    The strand/mapq planes are either eager arrays or a deferred
+    ``planes`` thunk (producing the sorted-order pair); a deferred
+    thunk is carried into the batch, composed with the depth-cap mask
+    when one applies, so the scatters never run unless something
+    downstream reads the planes.
     """
     if positions.size == 0:
         return ColumnBatch.empty(chrom)
@@ -95,8 +103,21 @@ def _batch_from_flat(
         keep = within < cfg.max_depth
         codes = codes[keep]
         quals = quals[keep]
-        reverse = reverse[keep]
-        mapqs = mapqs[keep]
+        if planes is None:
+            reverse = reverse[keep]
+            mapqs = mapqs[keep]
+        else:
+            uncapped = planes
+
+            def planes(
+                _build: Callable[
+                    [], Tuple[np.ndarray, np.ndarray]
+                ] = uncapped,
+                _keep: np.ndarray = keep,
+            ) -> Tuple[np.ndarray, np.ndarray]:
+                rev, mq = _build()
+                return rev[_keep], mq[_keep]
+
         kept = np.minimum(depths, cfg.max_depth)
         capped = depths - kept
     else:
@@ -114,6 +135,7 @@ def _batch_from_flat(
         mapqs=mapqs,
         offsets=offsets,
         n_capped=capped,
+        planes=planes,
     )
 
 
@@ -126,7 +148,7 @@ def pileup_batch_from_arrays(
     region: Region,
     config: Optional[PileupConfig] = None,
     *,
-    mapq: int = 60,
+    mapq: Union[int, np.ndarray] = 60,
 ) -> ColumnBatch:
     """Build the pileup of an ``(n, read_length)`` read matrix as one
     :class:`ColumnBatch`.
@@ -145,11 +167,14 @@ def pileup_batch_from_arrays(
             ``include_qcfail``) have no effect -- every read in the
             matrix is treated as a primary, non-duplicate, QC-pass
             alignment.
-        mapq: mapping quality stamped on all reads (the simulator uses
-            a constant; per-read vectors would be a trivial extension).
-            The ``min_mapq`` filter compares against this *raw* value;
-            values above 255 are only saturated to 255 afterwards, when
-            stamped into the batch's uint8 ``mapqs`` array (so e.g.
+        mapq: mapping quality -- one int stamped on all reads (the
+            simulator's default), or a per-read int vector of shape
+            ``(n,)``.  The ``min_mapq`` filter compares against the
+            *raw* values (a scalar below threshold empties the whole
+            pileup; a vector drops exactly the failing reads, like the
+            streaming engine's per-read ``read_passes``); values above
+            255 are only saturated to 255 afterwards, when stamped
+            into the batch's uint8 ``mapqs`` array (so e.g.
             ``mapq=300`` passes a ``min_mapq=260`` filter but reads
             back as 255, the SAM-format ceiling).
 
@@ -165,15 +190,41 @@ def pileup_batch_from_arrays(
     n, rl = codes.shape
     if starts.shape != (n,) or quals.shape != (n, rl) or reverse.shape != (n,):
         raise ValueError("read matrix arrays are not mutually consistent")
-    if mapq < 0:
-        raise ValueError(f"mapq must be non-negative, got {mapq}")
-    if mapq < cfg.min_mapq or n == 0:
-        return ColumnBatch.empty(region.chrom)
+    if np.isscalar(mapq) or np.ndim(mapq) == 0:
+        mapq = int(mapq)
+        if mapq < 0:
+            raise ValueError(f"mapq must be non-negative, got {mapq}")
+        if mapq < cfg.min_mapq or n == 0:
+            return ColumnBatch.empty(region.chrom)
+        mapq_reads = None
+    else:
+        mapq_arr = np.asarray(mapq)
+        if mapq_arr.shape != (n,):
+            raise ValueError(
+                f"per-read mapq must have shape ({n},), got {mapq_arr.shape}"
+            )
+        if n and int(mapq_arr.min()) < 0:
+            raise ValueError("mapq must be non-negative in every read")
+        keep_reads = mapq_arr >= cfg.min_mapq
+        if not keep_reads.all():
+            # Dropping whole reads preserves the sorted-starts
+            # counting-deposit structure, so the fast path below still
+            # applies to the surviving subset.
+            starts = starts[keep_reads]
+            codes = codes[keep_reads]
+            quals = quals[keep_reads]
+            reverse = reverse[keep_reads]
+            mapq_arr = mapq_arr[keep_reads]
+            n = int(starts.size)
+        if n == 0:
+            return ColumnBatch.empty(region.chrom)
+        mapq_reads = np.minimum(mapq_arr, 255).astype(np.uint8)
     if np.any(starts[1:] < starts[:-1]):
         # Unsorted input loses the counting-deposit structure; fall
         # back to a general stable sort of the flattened matrix.
         return _batch_from_arrays_sorted(
-            starts, codes, quals, reverse, reference, region, cfg, mapq
+            starts, codes, quals, reverse, reference, region, cfg,
+            mapq if mapq_reads is None else 0, mapq_reads,
         )
 
     # Counting deposit: because every read spans exactly rl contiguous
@@ -224,6 +275,13 @@ def pileup_batch_from_arrays(
     c_sorted = p_sorted & np.uint8(7)
     r_sorted = p_sorted >= 8
     pos_sorted = np.repeat(grid, np.diff(col_start))
+    if mapq_reads is None:
+        m_sorted = None
+    else:
+        # Per-read mapq: one extra single-byte scatter through the
+        # same computed permutation.
+        m_sorted = np.empty(m, dtype=np.uint8)
+        m_sorted[dest] = np.repeat(mapq_reads[i_lo:i_hi], rl)
 
     # The region clip is a slice of the sorted axis, not a mask.
     a = int(col_start[region.start - span_lo]) if region.start > span_lo else 0
@@ -232,6 +290,8 @@ def pileup_batch_from_arrays(
     q_sorted = q_sorted[a:b]
     c_sorted = c_sorted[a:b]
     r_sorted = r_sorted[a:b]
+    if m_sorted is not None:
+        m_sorted = m_sorted[a:b]
     if pos_sorted.size == 0:
         return ColumnBatch.empty(region.chrom)
 
@@ -242,15 +302,19 @@ def pileup_batch_from_arrays(
             q_sorted = q_sorted[keep]
             c_sorted = c_sorted[keep]
             r_sorted = r_sorted[keep]
+            if m_sorted is not None:
+                m_sorted = m_sorted[keep]
             if pos_sorted.size == 0:
                 return ColumnBatch.empty(region.chrom)
+    if m_sorted is None:
+        m_sorted = np.full(pos_sorted.size, min(mapq, 255), dtype=np.uint8)
     return _batch_from_flat(
         region.chrom,
         pos_sorted,
         c_sorted,
         q_sorted,
         r_sorted,
-        np.full(pos_sorted.size, min(mapq, 255), dtype=np.uint8),
+        m_sorted,
         reference,
         cfg,
     )
@@ -265,14 +329,20 @@ def _batch_from_arrays_sorted(
     region: Region,
     cfg: PileupConfig,
     mapq: int,
+    mapq_reads: Optional[np.ndarray] = None,
 ) -> ColumnBatch:
     """General fallback for unsorted read matrices: flatten, mask and
-    stable-sort by position (the pre-counting-deposit construction)."""
+    stable-sort by position (the pre-counting-deposit construction).
+    ``mapq_reads`` (uint8, one per read, already min_mapq-filtered)
+    overrides the constant ``mapq`` when given."""
     n, rl = codes.shape
     positions = (starts[:, None] + np.arange(rl)[None, :]).ravel()
     flat_codes = codes.ravel()
     flat_quals = quals.ravel()
     flat_rev = np.repeat(reverse, rl)
+    flat_mapqs = (
+        None if mapq_reads is None else np.repeat(mapq_reads, rl)
+    )
 
     mask = (
         (positions >= region.start)
@@ -283,17 +353,23 @@ def _batch_from_arrays_sorted(
     flat_codes = flat_codes[mask]
     flat_quals = flat_quals[mask]
     flat_rev = flat_rev[mask]
+    if flat_mapqs is not None:
+        flat_mapqs = flat_mapqs[mask]
     if positions.size == 0:
         return ColumnBatch.empty(region.chrom)
 
     order = np.argsort(positions, kind="stable")
+    if flat_mapqs is None:
+        flat_mapqs = np.full(positions.size, min(mapq, 255), dtype=np.uint8)
+    else:
+        flat_mapqs = flat_mapqs[order]
     return _batch_from_flat(
         region.chrom,
         positions[order],
         flat_codes[order],
         flat_quals[order],
         flat_rev[order],
-        np.full(positions.size, min(mapq, 255), dtype=np.uint8),
+        flat_mapqs,
         reference,
         cfg,
     )
@@ -308,7 +384,7 @@ def pileup_from_arrays(
     region: Region,
     config: Optional[PileupConfig] = None,
     *,
-    mapq: int = 60,
+    mapq: Union[int, np.ndarray] = 60,
 ) -> Iterator[PileupColumn]:
     """Yield pileup columns from an ``(n, read_length)`` read matrix.
 
@@ -338,6 +414,12 @@ def pileup_batch_from_reads(
     depth cap drops exactly the same reads.  Read-level semantics
     (chromosome/region skips, flag filters, the coordinate-sort check)
     are identical to :func:`repro.pileup.engine.pileup`.
+
+    The batch's strand/mapq planes are built *lazily*: the screen only
+    reads base codes and qualities, so the per-base strand/mapq
+    scatters are deferred into the batch and run only if the
+    ``merge_mapq`` error model or a surviving column's DP4 actually
+    needs them (pure screen-outs skip them entirely).
 
     Raises:
         ValueError: if the input violates coordinate sorting.
@@ -385,32 +467,39 @@ def pileup_batch_from_reads(
     flat_codes = np.concatenate(code_parts)
     flat_quals = np.concatenate(qual_parts)
     counts = np.array(lengths, dtype=np.int64)
-    flat_rev = np.repeat(np.array(rev_flags, dtype=bool), counts)
-    flat_mapqs = np.repeat(np.array(mapq_vals, dtype=np.uint8), counts)
 
     mask = (
         (positions >= region.start)
         & (positions < region.end)
         & (flat_quals >= cfg.min_baseq)
     )
+    all_in = bool(mask.all())
     positions = positions[mask]
     flat_codes = flat_codes[mask]
     flat_quals = flat_quals[mask]
-    flat_rev = flat_rev[mask]
-    flat_mapqs = flat_mapqs[mask]
     if positions.size == 0:
         return ColumnBatch.empty(region.chrom)
 
     order = np.argsort(positions, kind="stable")
+
+    def planes() -> Tuple[np.ndarray, np.ndarray]:
+        rev = np.repeat(np.array(rev_flags, dtype=bool), counts)
+        mqs = np.repeat(np.array(mapq_vals, dtype=np.uint8), counts)
+        if not all_in:
+            rev = rev[mask]
+            mqs = mqs[mask]
+        return rev[order], mqs[order]
+
     return _batch_from_flat(
         region.chrom,
         positions[order],
         flat_codes[order],
         flat_quals[order],
-        flat_rev[order],
-        flat_mapqs[order],
+        None,
+        None,
         reference,
         cfg,
+        planes=planes,
     )
 
 

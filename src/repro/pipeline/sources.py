@@ -285,11 +285,24 @@ class BamSource:
             first reference only (the legacy ``call_bam`` scope, since
             one string cannot cover several contigs).
         pileup_config: pileup filtering parameters.
+        batch_columns: cap on the columns per emitted
+            :class:`~repro.pileup.column.ColumnBatch` work unit: a
+            chunk whose pileup covers more columns is re-sliced into
+            consecutive zero-copy sub-batches at the source, so
+            downstream per-batch structures (screen histograms,
+            survivor planes, per-unit call buffers) stay bounded even
+            for huge unchunked regions -- the engine no longer relies
+            solely on its own ``slice_columns`` guard.  ``None``
+            disables the re-slice (one batch per chunk).
 
     Raises:
         ValueError: if a single reference string is paired with regions
-            on more than one contig.
+            on more than one contig, or ``batch_columns`` is not
+            positive.
     """
+
+    #: Default per-work-unit column cap (16 engine-sized slices).
+    DEFAULT_BATCH_COLUMNS = 16384
 
     def __init__(
         self,
@@ -297,10 +310,17 @@ class BamSource:
         reference: ReferenceLike,
         regions: Optional[Sequence[Region]] = None,
         pileup_config: Optional[PileupConfig] = None,
+        *,
+        batch_columns: Optional[int] = DEFAULT_BATCH_COLUMNS,
     ) -> None:
         from repro.io.bam import BamReader
 
+        if batch_columns is not None and batch_columns <= 0:
+            raise ValueError(
+                f"batch_columns must be positive, got {batch_columns}"
+            )
         self.path = os.fspath(path)
+        self.batch_columns = batch_columns
         self.pileup_config = pileup_config or PileupConfig()
         with BamReader(self.path) as reader:
             self.contigs: List[Tuple[str, int]] = list(
@@ -469,7 +489,11 @@ class BamSource:
         aligned bases are decoded straight into flat arrays
         (:func:`repro.io.bam.aligned_base_arrays`) and assembled into
         one structure-of-arrays batch -- no per-base tuples and no
-        per-column objects on the way to the screen."""
+        per-column objects on the way to the screen.  Chunks wider
+        than ``batch_columns`` are re-sliced into zero-copy sub-batch
+        work units here at the source (strand/mapq laziness
+        preserved), so a huge unchunked region never hands the engine
+        one unbounded unit."""
         from repro.pileup.vectorized import pileup_batch_from_reads
 
         batch = self._scan(
@@ -483,4 +507,12 @@ class BamSource:
                 self.pileup_config,
             ),
         )
-        return [] if batch is None else [batch]
+        if batch is None:
+            return []
+        cap = self.batch_columns
+        if cap is None or batch.n_columns <= cap:
+            return [batch]
+        return [
+            batch.slice_columns(lo, min(lo + cap, batch.n_columns))
+            for lo in range(0, batch.n_columns, cap)
+        ]

@@ -18,6 +18,13 @@ Three implementations live here:
   Bernoulli can only push mass rightwards), so as soon as it exceeds
   the significance threshold the column can be declared
   not-significant without finishing the DP.
+* :func:`poibin_sf_dp_batch` -- the 2-D twin of :func:`poibin_sf_dp`:
+  one DP over many (k, probability-row) lanes at once, sweeping the
+  read axis with whole-matrix operations and masking lanes out as
+  their early stop fires.  Bit-for-bit identical to running the
+  scalar DP per lane (see its docstring for why), which is what lets
+  the batched caller engine run its exact stage without lifting
+  survivors into per-column Python objects.
 * :func:`poibin_sf_brute_force` -- 2^d enumeration, the ground-truth
   oracle for property tests (d <= ~18).
 
@@ -37,9 +44,11 @@ import numpy as np
 __all__ = [
     "poibin_pmf_dp",
     "poibin_sf_dp",
+    "poibin_sf_dp_batch",
     "poibin_sf",
     "poibin_sf_brute_force",
     "poibin_mean_variance",
+    "BatchDpResult",
     "DpResult",
 ]
 
@@ -155,6 +164,228 @@ def poibin_sf_dp(
         if prune_above is not None and tail > prune_above:
             return DpResult(tail, False, n + 1)
     return DpResult(tail, True, d)
+
+
+class BatchDpResult:
+    """Per-lane outcome of the batched tail DP.
+
+    Attributes:
+        pvalues: float64 array; lane ``i`` holds ``P(X >= k_i)`` when
+            ``complete[i]``, otherwise the lower bound at which the
+            lane's early stop fired.
+        complete: bool array, True where the lane's DP ran over all of
+            its reads.
+        steps: int64 array of reads processed per lane (equals the
+            lane's length when complete).
+    """
+
+    __slots__ = ("pvalues", "complete", "steps")
+
+    def __init__(
+        self, pvalues: np.ndarray, complete: np.ndarray, steps: np.ndarray
+    ) -> None:
+        self.pvalues = pvalues
+        self.complete = complete
+        self.steps = steps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BatchDpResult(lanes={self.pvalues.size}, "
+            f"complete={int(self.complete.sum())}, "
+            f"steps={int(self.steps.sum())})"
+        )
+
+
+#: Rows are compacted out of the batched DP's working set whenever the
+#: still-running fraction drops below this; keeps the per-step matrix
+#: work proportional to the lanes that are actually alive.
+_COMPACT_FRACTION = 0.5
+
+#: Sweep steps per cached probability block.  Reading a plane *column*
+#: per step would cost one cache miss per lane; instead the sweep
+#: copies (lanes x _SWEEP_BLOCK) slabs -- contiguous row segments, one
+#: streaming pass over the plane in total -- and serves the per-step
+#: columns out of the cache-resident slab.
+_SWEEP_BLOCK = 128
+
+
+def poibin_sf_dp_batch(
+    ks: np.ndarray,
+    probs: np.ndarray,
+    lengths: Optional[np.ndarray] = None,
+    *,
+    prune_above: Optional[float] = None,
+) -> BatchDpResult:
+    """Run :func:`poibin_sf_dp` over many lanes in one 2-D sweep.
+
+    Lane ``i`` is the pair ``(ks[i], probs[i, :lengths[i]])``; the
+    plane is zero-padded on the right so ragged depths share one
+    matrix.  The result is **bit-for-bit** what the scalar DP returns
+    per lane -- pvalues, completion flags and step counts alike:
+
+    * the per-step recurrence is the scalar one evaluated elementwise
+      (same multiply/add order, float64 throughout);
+    * each lane's ``k``-wide head buffer is right-aligned at a shared
+      boundary column, so the uniform shift-multiply-add touches only
+      zeros left of a lane's own head -- and for the non-negative DP
+      state ``x * 1.0`` and ``x + 0.0`` are bitwise identity, making
+      the zero padding (and frozen lanes) exact no-ops;
+    * the early stop is checked per lane exactly where the scalar
+      loop checks it (after every step with a non-zero probability),
+      freezing the lane's pvalue and step count at that point.
+
+    Lanes whose early stop has fired are masked out of further
+    updates, and the working set is compacted whenever the live
+    fraction halves, so a batch of mostly-prunable lanes does not pay
+    for its slowest member.
+
+    Args:
+        ks: int array of tail points, one per lane.
+        probs: 2-D float64 plane, one row of per-read error
+            probabilities per lane, zero-padded past ``lengths``.
+        lengths: per-lane read counts; defaults to the full row width.
+        prune_above: optional early-stop threshold shared by all lanes
+            (e.g. the Bonferroni-corrected alpha).
+
+    Returns:
+        A :class:`BatchDpResult` with one entry per lane.
+
+    Raises:
+        ValueError: on shape mismatches, out-of-range probabilities,
+            negative ``ks``, or non-zero padding past ``lengths``.
+    """
+    p = np.asarray(probs, dtype=np.float64)
+    if p.ndim != 2:
+        raise ValueError(f"probs must be 2-D (lanes, reads), got {p.shape}")
+    m, width = p.shape
+    ks_arr = np.asarray(ks, dtype=np.int64)
+    if ks_arr.shape != (m,):
+        raise ValueError(f"ks must have shape ({m},), got {ks_arr.shape}")
+    if m and np.min(ks_arr) < 0:
+        raise ValueError("k must be >= 0 in every lane")
+    if p.size and (np.min(p) < 0.0 or np.max(p) > 1.0):
+        raise ValueError("probabilities must lie in [0, 1]")
+    if lengths is None:
+        lens_all = np.full(m, width, dtype=np.int64)
+    else:
+        lens_all = np.asarray(lengths, dtype=np.int64)
+        if lens_all.shape != (m,):
+            raise ValueError(
+                f"lengths must have shape ({m},), got {lens_all.shape}"
+            )
+        if m and (np.min(lens_all) < 0 or np.max(lens_all) > width):
+            raise ValueError("lengths must lie in [0, row width]")
+    # One pass over the plane classifies it for the sweep: rows whose
+    # zero count equals their padding have all-zero padding and no
+    # interior zeros (the hot case -- quality-derived probabilities
+    # are never exactly 0), which both validates the padding and
+    # licenses the pruning fast path below.
+    zeros_per_row = (
+        np.count_nonzero(p == 0.0, axis=1) if p.size else np.zeros(m)
+    )
+    zero_free = bool((zeros_per_row == width - lens_all).all())
+    if not zero_free:
+        if p.size and p[np.arange(width) >= lens_all[:, None]].any():
+            raise ValueError("probs must be zero-padded past lengths")
+
+    pvalues = np.zeros(m, dtype=np.float64)
+    complete = np.ones(m, dtype=bool)
+    steps = np.zeros(m, dtype=np.int64)
+    pvalues[ks_arr == 0] = 1.0  # P(X >= 0) = 1, settled in 0 steps
+    # ks > length lanes keep pvalue 0.0 / steps 0, like the scalar DP.
+    run = (ks_arr > 0) & (ks_arr <= lens_all)
+    sel = np.nonzero(run)[0]
+    if sel.size == 0:
+        return BatchDpResult(pvalues, complete, steps)
+
+    # Right-aligned head state: lane i's P(X = j) lives at column
+    # k_max - k_i + j, its boundary (j = k_i - 1) at the shared last
+    # column.  Columns left of a lane's head hold zeros forever.
+    lane_k = ks_arr[sel]
+    lane_len = lens_all[sel]
+    k_max = int(lane_k.max())
+    n_lanes = sel.size
+    head = np.zeros((n_lanes, k_max), dtype=np.float64)
+    head[np.arange(n_lanes), k_max - lane_k] = 1.0
+    tail = np.zeros(n_lanes, dtype=np.float64)
+    alive = np.ones(n_lanes, dtype=bool)
+    n_alive = n_lanes
+    # Lanes complete exactly at n == their length, so the completion
+    # scan only needs to run at those step counts.
+    len_events = np.unique(lane_len)
+    len_ptr = 0
+
+    def retire(rows: np.ndarray) -> None:
+        # Rows of finished lanes are zeroed rather than dropped: the
+        # sweep keeps updating them (cheaper than masking every
+        # step), but zero state stays zero, so the tail.max() prune
+        # gate below never re-fires for them.  Compaction trims them
+        # out of the working set wholesale.
+        head[rows] = 0.0
+        tail[rows] = 0.0
+        alive[rows] = False
+
+    n = 0
+    block = np.empty((n_lanes, 0), dtype=np.float64)
+    block_base = 0
+    while n_alive:
+        # ``sel`` maps working rows to plane rows; the plane itself is
+        # never compacted (it can be the big array) -- working rows
+        # are gathered slab by slab: contiguous row segments, one
+        # streaming pass over the plane in total, with the per-step
+        # columns served out of the cache-resident slab.
+        j = n - block_base
+        if j >= block.shape[1]:
+            block_base = n
+            j = 0
+            hi = min(n + _SWEEP_BLOCK, width)
+            block = p[:, n:hi].copy() if sel.size == m else p[sel, n:hi]
+        pn = block[:, j]
+        one_minus = 1.0 - pn
+        # Mass leaking past each lane's k-1 boundary joins its tail.
+        tail += head[:, -1] * pn
+        shifted = head[:, :-1] * pn[:, None]
+        head[:, 1:] *= one_minus[:, None]
+        head[:, 1:] += shifted
+        head[:, 0] *= one_minus
+        n += 1
+        if prune_above is not None and float(tail.max()) > prune_above:
+            # The scalar loop only checks after steps with pn > 0; on
+            # a zero-free plane that gate is vacuous within a lane's
+            # length (and past it the lane's state is already zeroed).
+            pruned = tail > prune_above
+            if not zero_free:
+                pruned &= pn > 0.0
+            if pruned.any():
+                rows = np.nonzero(pruned)[0]
+                lanes = sel[rows]
+                pvalues[lanes] = tail[rows]
+                complete[lanes] = False
+                steps[lanes] = n
+                retire(rows)
+                n_alive -= rows.size
+        if len_ptr < len_events.size and n == int(len_events[len_ptr]):
+            len_ptr += 1
+            done = alive & (lane_len <= n)
+            if done.any():
+                rows = np.nonzero(done)[0]
+                lanes = sel[rows]
+                pvalues[lanes] = tail[rows]
+                steps[lanes] = lane_len[rows]
+                retire(rows)
+                n_alive -= rows.size
+        if n_alive and n_alive <= _COMPACT_FRACTION * alive.size:
+            rows = np.nonzero(alive)[0]
+            lane_k = lane_k[rows]
+            lane_len = lane_len[rows]
+            sel = sel[rows]
+            tail = tail[rows]
+            block = block[rows]
+            new_k_max = int(lane_k.max())
+            head = head[np.ix_(rows, np.arange(k_max - new_k_max, k_max))]
+            k_max = new_k_max
+            alive = np.ones(rows.size, dtype=bool)
+    return BatchDpResult(pvalues, complete, steps)
 
 
 def poibin_sf(k: int, probs: np.ndarray) -> float:

@@ -303,6 +303,45 @@ class TestPileupKnobs:
         )
         assert rc == 2
 
+    def test_merge_mapq_identical_across_engines(self, workspace):
+        """--merge-mapq folds per-read mapping quality into the error
+        model; the batched engine's fused-table path must match the
+        streaming engine byte-for-byte."""
+        outs = {}
+        for engine in ("streaming", "batched"):
+            out = workspace / f"calls_mergemapq_{engine}.vcf"
+            rc = main(
+                [
+                    "call", str(workspace / "sample.bam"),
+                    "--reference", str(workspace / "ref.fa"),
+                    "--out", str(out),
+                    "--engine", engine,
+                    "--merge-mapq",
+                ]
+            )
+            assert rc == 0
+            outs[engine] = out.read_bytes()
+        assert outs["streaming"] == outs["batched"]
+
+    def test_merge_mapq_changes_error_model(self, workspace):
+        """The merge is not a no-op: with mapping qualities folded in,
+        per-read error probabilities rise, so the emitted QUAL values
+        must differ from the base-quality-only run somewhere."""
+        outs = {}
+        for label, extra in (("plain", []), ("merged", ["--merge-mapq"])):
+            out = workspace / f"calls_mergeeffect_{label}.vcf"
+            rc = main(
+                [
+                    "call", str(workspace / "sample.bam"),
+                    "--reference", str(workspace / "ref.fa"),
+                    "--out", str(out),
+                ]
+                + extra
+            )
+            assert rc == 0
+            outs[label] = out.read_bytes()
+        assert outs["plain"] != outs["merged"]
+
 
 class TestNewCallFlags:
     def test_output_format_jsonl(self, workspace):

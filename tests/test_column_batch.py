@@ -273,6 +273,120 @@ class TestColumnBatchValueType:
         assert np.shares_memory(col.base_codes, batch.base_codes)
 
 
+class TestLazyPlanes:
+    """Deferred strand/mapq planes (PR 4): built on first access,
+    bit-identical to eager construction, laziness preserved by
+    ``slice_columns``."""
+
+    def _lazy_and_eager(self, seed=17):
+        genome, sample, config, region = _workload(seed)
+        eager = pileup_batch_from_reads(
+            iter(_bam_round_trip(sample)), genome.sequence, region, config
+        )
+        # pileup_batch_from_reads itself defers the planes; force an
+        # eager twin through the constructor.
+        lazy = pileup_batch_from_reads(
+            iter(_bam_round_trip(sample)), genome.sequence, region, config
+        )
+        forced = ColumnBatch(
+            chrom=eager.chrom,
+            positions=eager.positions,
+            ref_bases=eager.ref_bases,
+            base_codes=eager.base_codes,
+            quals=eager.quals,
+            reverse=eager.reverse,
+            mapqs=eager.mapqs,
+            offsets=eager.offsets,
+            n_capped=eager.n_capped,
+        )
+        return lazy, forced
+
+    def test_from_reads_defers_planes(self):
+        lazy, forced = self._lazy_and_eager()
+        assert not lazy.planes_materialised
+        assert forced.planes_materialised
+        # Everything the screen reads is available without touching
+        # the planes.
+        assert lazy.depths.sum() == forced.depths.sum()
+        assert not lazy.planes_materialised
+
+    def test_materialised_planes_identical(self):
+        lazy, forced = self._lazy_and_eager()
+        assert np.array_equal(lazy.reverse, forced.reverse)
+        assert np.array_equal(lazy.mapqs, forced.mapqs)
+        assert lazy.planes_materialised
+
+    def test_slice_preserves_laziness(self):
+        lazy, forced = self._lazy_and_eager()
+        n = lazy.n_columns
+        sub = lazy.slice_columns(1, n - 1)
+        assert not lazy.planes_materialised
+        assert not sub.planes_materialised
+        sub_forced = forced.slice_columns(1, n - 1)
+        assert np.array_equal(sub.reverse, sub_forced.reverse)
+        assert np.array_equal(sub.mapqs, sub_forced.mapqs)
+        assert sub.planes_materialised
+        # Materialising a slice does not materialise the parent's own
+        # cached planes eagerly... but the thunk chain reads through
+        # the parent, which materialises it as a side effect.
+        assert lazy.planes_materialised
+
+    def test_column_view_materialises(self):
+        lazy, forced = self._lazy_and_eager()
+        col = lazy.column(0)
+        assert lazy.planes_materialised
+        assert np.array_equal(col.mapqs, forced.column(0).mapqs)
+
+    def test_depth_cap_composes_with_lazy_planes(self):
+        genome, sample, _, _ = _workload(42)
+        region = Region(genome.name, 0, len(genome))
+        config = PileupConfig(max_depth=15)
+        lazy = pileup_batch_from_reads(
+            iter(_bam_round_trip(sample)), genome.sequence, region, config
+        )
+        assert not lazy.planes_materialised
+        streaming = ColumnBatch.from_columns(
+            list(
+                pileup(
+                    iter(sample.read_list()), genome.sequence, region, config
+                )
+            ),
+            chrom=region.chrom,
+        )
+        assert int(streaming.n_capped.sum()) > 0, "cap never engaged"
+        assert_batches_identical(streaming, lazy)
+
+    def test_constructor_validation(self):
+        base = dict(
+            chrom="c",
+            positions=np.array([0]),
+            ref_bases="A",
+            base_codes=np.zeros(1, dtype=np.uint8),
+            quals=np.zeros(1, dtype=np.uint8),
+            offsets=np.array([0, 1]),
+            n_capped=np.array([0]),
+        )
+        with pytest.raises(ValueError, match="reverse and mapqs"):
+            ColumnBatch(**base)
+        with pytest.raises(ValueError, match="either"):
+            ColumnBatch(
+                **base,
+                reverse=np.zeros(1, dtype=bool),
+                mapqs=np.zeros(1, dtype=np.uint8),
+                planes=lambda: (None, None),
+            )
+        # A thunk returning non-parallel planes fails at access time.
+        bad = ColumnBatch(
+            **base,
+            planes=lambda: (
+                np.zeros(2, dtype=bool),
+                np.zeros(2, dtype=np.uint8),
+            ),
+        )
+        with pytest.raises(ValueError, match="parallel"):
+            bad.reverse
+
+
 class TestEncodeReadBases:
     def test_matches_scalar_lookup(self):
         from repro.pileup.column import BASE_TO_CODE, N_CODE

@@ -86,6 +86,24 @@ def test_engines_identical(dataset, use_approximation):
 
 
 @pytest.mark.parametrize("use_approximation", [True, False])
+def test_engines_identical_merge_mapq(dataset, use_approximation):
+    """The merged (base x mapping) quality model runs columnar in the
+    batched engine (no per-column fallback since PR 4); its calls and
+    censuses must still match the streaming engine byte-for-byte."""
+    streaming = VariantCaller(
+        CallerConfig(use_approximation=use_approximation, merge_mapq=True)
+    ).call_sample(dataset)
+    batched = VariantCaller(
+        CallerConfig(
+            use_approximation=use_approximation,
+            merge_mapq=True,
+            engine="batched",
+        )
+    ).call_sample(dataset)
+    assert_equivalent(streaming, batched)
+
+
+@pytest.mark.parametrize("use_approximation", [True, False])
 def test_engines_identical_at_depth_cap(dataset, use_approximation):
     """With a tight max_depth the columns are capped; both engines must
     consume the capped columns identically (n_capped is a pileup
@@ -234,15 +252,29 @@ def test_batched_engine_under_parallel_driver_with_batches():
     assert_equivalent(results["streaming"], results["batched"])
 
 
+class _ColumnCensus:
+    """Counts every PileupColumn construction while installed."""
+
+    def __init__(self, monkeypatch):
+        from repro.pileup.column import PileupColumn
+
+        self.constructed = 0
+        original = PileupColumn.__post_init__
+
+        def counting(column):
+            self.constructed += 1
+            return original(column)
+
+        monkeypatch.setattr(PileupColumn, "__post_init__", counting)
+
+
 def test_screened_out_columns_build_no_python_objects(monkeypatch):
-    """The acceptance claim: evaluating a ColumnBatch constructs a
-    PileupColumn only for exact-DP survivors -- zero for a batch whose
-    every allele is screened out."""
+    """Evaluating a ColumnBatch whose every allele is screened out
+    constructs zero PileupColumn objects."""
     import numpy as np
 
     from repro.core.batched import evaluate_batch
     from repro.core.results import RunStats
-    from repro.pileup.column import PileupColumn
     from repro.pileup.vectorized import pileup_sample_batch
 
     dataset = _dataset("null")  # no true variants: everything screens out
@@ -255,15 +287,7 @@ def test_screened_out_columns_build_no_python_objects(monkeypatch):
     batch = batch.slice_columns(lo, hi)
     assert bool((batch.depths >= config.approx_min_depth).all())
 
-    constructed = 0
-    original = PileupColumn.__post_init__
-
-    def counting(self):
-        nonlocal constructed
-        constructed += 1
-        return original(self)
-
-    monkeypatch.setattr(PileupColumn, "__post_init__", counting)
+    census = _ColumnCensus(monkeypatch)
     stats = RunStats()
     calls = evaluate_batch(
         batch, config.corrected_alpha(len(dataset.genome)), config, stats
@@ -273,6 +297,147 @@ def test_screened_out_columns_build_no_python_objects(monkeypatch):
         "premise broken: a pair survived screening on the null dataset"
     )
     assert calls == []
-    assert constructed == 0, (
-        f"{constructed} PileupColumn objects built for screened-out columns"
+    assert census.constructed == 0, (
+        f"{census.constructed} PileupColumn objects built for "
+        "screened-out columns"
     )
+
+
+@pytest.mark.parametrize("merge_mapq", [False, True])
+def test_batched_engine_zero_pileup_columns_end_to_end(
+    monkeypatch, merge_mapq
+):
+    """The PR 4 acceptance claim: the batched engine constructs **no**
+    PileupColumn anywhere, end to end -- screened-out columns, exact-DP
+    survivors, emitted calls, ``merge_mapq`` included -- while staying
+    byte-identical to the streaming engine."""
+    dataset = _dataset("deep")  # has survivors and emitted calls
+    streaming = VariantCaller(
+        CallerConfig(merge_mapq=merge_mapq)
+    ).call_sample(dataset)
+
+    census = _ColumnCensus(monkeypatch)
+    batched = VariantCaller(
+        CallerConfig(merge_mapq=merge_mapq, engine="batched")
+    ).call_sample(dataset)
+    assert census.constructed == 0, (
+        f"{census.constructed} PileupColumn objects built by the "
+        "batched engine end-to-end"
+    )
+    # The run genuinely exercised the exact stage, not just the screen.
+    assert batched.stats.dp_invocations > 0
+    assert len(batched.calls) > 0
+    assert_equivalent(streaming, batched)
+
+
+def test_batched_engine_zero_pileup_columns_over_bam(monkeypatch, tmp_path):
+    """Same census over the BAM pipeline: decode -> columnar deposit
+    -> screen -> batch exact stage, zero per-column objects."""
+    from repro.pipeline import BamSource, Pipeline
+
+    dataset = _dataset("deep")
+    bam = tmp_path / "census.bam"
+    dataset.write_bam(bam)
+    streaming = Pipeline(
+        BamSource(bam, dataset.genome.sequence),
+        config=CallerConfig(engine="streaming"),
+    ).run()
+
+    census = _ColumnCensus(monkeypatch)
+    batched = Pipeline(
+        BamSource(bam, dataset.genome.sequence),
+        config=CallerConfig(engine="batched"),
+    ).run()
+    assert census.constructed == 0
+    assert len(batched.calls) > 0
+    assert_equivalent(streaming, batched)
+
+
+def test_merged_qual_prob_table_bitwise_identical():
+    """The fused (base quality x mapping quality) table must reproduce
+    the scalar merged error model bit-for-bit for every possible pair
+    of uint8 qualities -- what licenses the columnar merge_mapq path."""
+    import numpy as np
+
+    from repro.core.batched import merged_qual_prob_table
+    from repro.core.model import allele_error_probabilities
+    from repro.pileup.column import PileupColumn
+
+    rng = np.random.default_rng(99)
+    quals = rng.integers(0, 256, size=4096).astype(np.uint8)
+    mapqs = rng.integers(0, 256, size=4096).astype(np.uint8)
+    column = PileupColumn(
+        chrom="c",
+        pos=0,
+        ref_base="A",
+        base_codes=np.zeros(4096, dtype=np.uint8),
+        quals=quals,
+        reverse=np.zeros(4096, dtype=bool),
+        mapqs=mapqs,
+    )
+    table = merged_qual_prob_table()
+    assert np.array_equal(
+        table[quals, mapqs],
+        allele_error_probabilities(column, merge_mapq=True),
+    )
+    assert not table.flags.writeable
+
+
+def test_screen_leaves_lazy_planes_untouched(tmp_path):
+    """The ROADMAP deferral, regression-tested: a BAM-built batch
+    carries its strand/mapq planes lazily, a pure screen-out pass
+    never materialises them, and the screen's results are unchanged
+    from an eager batch."""
+    from repro.core.batched import screen_batch
+    from repro.core.results import RunStats
+    from repro.io.regions import Region
+    from repro.pileup.column import ColumnBatch
+    from repro.pileup.vectorized import pileup_batch_from_reads
+
+    dataset = _dataset("null")
+    bam = tmp_path / "lazy.bam"
+    dataset.write_bam(bam)
+    from repro.io.bam import BamReader
+
+    config = CallerConfig()
+    corrected_alpha = config.corrected_alpha(len(dataset.genome))
+    region = Region(dataset.genome.name, 0, len(dataset.genome))
+
+    def build():
+        with BamReader(bam) as reader:
+            return pileup_batch_from_reads(
+                iter(reader), dataset.genome.sequence, region
+            )
+
+    lazy = build()
+    assert not lazy.planes_materialised
+    lazy_stats = RunStats()
+    lazy_survivors = screen_batch(lazy, corrected_alpha, config, lazy_stats)
+    assert not lazy.planes_materialised, (
+        "screening alone materialised the strand/mapq planes"
+    )
+
+    eager_src = build()
+    eager = ColumnBatch(
+        chrom=eager_src.chrom,
+        positions=eager_src.positions,
+        ref_bases=eager_src.ref_bases,
+        base_codes=eager_src.base_codes,
+        quals=eager_src.quals,
+        reverse=eager_src.reverse,  # materialises
+        mapqs=eager_src.mapqs,
+        offsets=eager_src.offsets,
+        n_capped=eager_src.n_capped,
+    )
+    eager_stats = RunStats()
+    eager_survivors = screen_batch(
+        eager, corrected_alpha, config, eager_stats
+    )
+    assert lazy_survivors == eager_survivors
+    assert lazy_stats.decisions == eager_stats.decisions
+    assert lazy_stats.exact_skipped == eager_stats.exact_skipped
+    # The planes themselves are identical once materialised.
+    import numpy as np
+
+    assert np.array_equal(lazy.reverse, eager.reverse)
+    assert np.array_equal(lazy.mapqs, eager.mapqs)

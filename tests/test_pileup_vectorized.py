@@ -164,3 +164,143 @@ class TestDirect:
     def test_empty_region(self, sample, genome):
         cols = list(pileup_sample(sample, Region(genome.name, 0, 0)))
         assert cols == []
+
+
+class TestPerReadMapq:
+    """Per-read mapping-quality vectors in the matrix path (PR 4)."""
+
+    def _three_reads(self):
+        starts = np.array([0, 1, 2], dtype=np.int64)
+        codes = np.tile(
+            np.array([[0, 1]], dtype=np.uint8), (3, 1)
+        )  # A C per read
+        quals = np.full((3, 2), 30, dtype=np.uint8)
+        rev = np.array([False, True, False])
+        return starts, codes, quals, rev
+
+    def test_vector_stamps_per_read_values(self):
+        starts, codes, quals, rev = self._three_reads()
+        cols = list(
+            pileup_from_arrays(
+                starts, codes, quals, rev, "TTTTT", Region("c", 0, 5),
+                mapq=np.array([10, 20, 30]),
+            )
+        )
+        # Column 1 holds read 0 (deposited first) then read 1.
+        by_pos = {c.pos: c for c in cols}
+        assert by_pos[1].mapqs.tolist() == [10, 20]
+        assert by_pos[2].mapqs.tolist() == [20, 30]
+
+    def test_vector_min_mapq_drops_exactly_failing_reads(self):
+        starts, codes, quals, rev = self._three_reads()
+        cols = list(
+            pileup_from_arrays(
+                starts, codes, quals, rev, "TTTTT", Region("c", 0, 5),
+                PileupConfig(min_mapq=20),
+                mapq=np.array([10, 20, 30]),
+            )
+        )
+        by_pos = {c.pos: c for c in cols}
+        assert 0 not in by_pos  # only read 0 covered position 0
+        assert by_pos[1].mapqs.tolist() == [20]
+        assert by_pos[2].mapqs.tolist() == [20, 30]
+
+    def test_vector_matches_streaming_reads_path(self, genome):
+        """A matrix with per-read mapq must pileup identically to the
+        same reads streamed through the CIGAR-aware engine (which has
+        always applied ``min_mapq`` per read)."""
+        from repro.io.records import AlignedRead
+        from repro.pileup.column import CODE_TO_BASE
+        from repro.pileup.vectorized import pileup_batch_from_arrays
+
+        rng = np.random.default_rng(5)
+        n, rl = 40, 30
+        starts = np.sort(rng.integers(0, 200, size=n)).astype(np.int64)
+        codes = rng.integers(0, 4, size=(n, rl)).astype(np.uint8)
+        quals = rng.integers(10, 40, size=(n, rl)).astype(np.uint8)
+        rev = rng.random(n) < 0.5
+        mapqs = rng.integers(0, 60, size=n)
+        region = Region(genome.name, 0, 240)
+        cfg = PileupConfig(min_mapq=25)
+
+        batch = pileup_batch_from_arrays(
+            starts, codes, quals, rev, genome.sequence, region, cfg,
+            mapq=mapqs,
+        )
+        reads = [
+            AlignedRead(
+                qname=f"r{i}",
+                flag=16 if rev[i] else 0,
+                rname=genome.name,
+                pos=int(starts[i]),
+                mapq=int(mapqs[i]),
+                cigar=[(0, rl)],
+                seq="".join(CODE_TO_BASE[c] for c in codes[i]),
+                qual=quals[i],
+            )
+            for i in range(n)
+        ]
+        stream = list(pileup(reads, genome.sequence, region, cfg))
+        batch_cols = list(batch.columns())
+        assert len(batch_cols) == len(stream)
+        for a, b in zip(batch_cols, stream):
+            assert a.pos == b.pos
+            assert np.array_equal(a.base_codes, b.base_codes)
+            assert np.array_equal(a.quals, b.quals)
+            assert np.array_equal(a.reverse, b.reverse)
+            assert np.array_equal(a.mapqs, b.mapqs)
+
+    def test_unsorted_fallback_carries_vector(self):
+        starts = np.array([2, 0], dtype=np.int64)  # unsorted on purpose
+        codes = np.tile(np.array([[0, 1]], dtype=np.uint8), (2, 1))
+        quals = np.full((2, 2), 30, dtype=np.uint8)
+        rev = np.array([False, False])
+        cols = list(
+            pileup_from_arrays(
+                starts, codes, quals, rev, "TTTTT", Region("c", 0, 5),
+                mapq=np.array([7, 9]),
+            )
+        )
+        by_pos = {c.pos: c for c in cols}
+        assert by_pos[0].mapqs.tolist() == [9]
+        assert by_pos[2].mapqs.tolist() == [7]
+
+    def test_vector_saturates_above_255(self):
+        starts, codes, quals, rev = self._three_reads()
+        cols = list(
+            pileup_from_arrays(
+                starts, codes, quals, rev, "TTTTT", Region("c", 0, 5),
+                PileupConfig(min_mapq=260),
+                mapq=np.array([300, 100, 400]),
+            )
+        )
+        flat = np.concatenate([c.mapqs for c in cols])
+        assert set(flat.tolist()) == {255}  # reads 0 and 2 survive
+
+    def test_vector_validation(self):
+        starts, codes, quals, rev = self._three_reads()
+        with pytest.raises(ValueError, match="shape"):
+            list(
+                pileup_from_arrays(
+                    starts, codes, quals, rev, "TTTTT", Region("c", 0, 5),
+                    mapq=np.array([1, 2]),
+                )
+            )
+        with pytest.raises(ValueError, match="non-negative"):
+            list(
+                pileup_from_arrays(
+                    starts, codes, quals, rev, "TTTTT", Region("c", 0, 5),
+                    mapq=np.array([1, -2, 3]),
+                )
+            )
+
+    def test_all_reads_filtered_yields_empty(self):
+        starts, codes, quals, rev = self._three_reads()
+        batch_cols = list(
+            pileup_from_arrays(
+                starts, codes, quals, rev, "TTTTT", Region("c", 0, 5),
+                PileupConfig(min_mapq=50),
+                mapq=np.array([1, 2, 3]),
+            )
+        )
+        assert batch_cols == []

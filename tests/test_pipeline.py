@@ -480,6 +480,67 @@ class TestExecutionPolicy:
         assert streaming.stats.decisions == batched.stats.decisions
 
 
+class TestBamSourceBatchColumns:
+    """Source-side batch re-slicing (PR 4): huge unchunked regions are
+    handed to the engine as bounded work units."""
+
+    def test_default_single_unit_below_cap(self, bam_workspace, genome):
+        _, bam = bam_workspace
+        source = BamSource(bam, genome.sequence)
+        region = source.regions()[0]
+        batches = source.batches_for(region)
+        assert len(batches) == 1  # 1200 columns < default 16384 cap
+
+    def test_cap_reslices_into_bounded_units(self, bam_workspace, genome):
+        _, bam = bam_workspace
+        source = BamSource(bam, genome.sequence, batch_columns=100)
+        region = source.regions()[0]
+        batches = source.batches_for(region)
+        assert len(batches) > 1
+        assert all(b.n_columns <= 100 for b in batches)
+        # Together the slices are exactly the unsliced batch.
+        whole = BamSource(
+            bam, genome.sequence, batch_columns=None
+        ).batches_for(region)[0]
+        import numpy as np
+
+        assert sum(b.n_columns for b in batches) == whole.n_columns
+        assert np.array_equal(
+            np.concatenate([b.positions for b in batches]), whole.positions
+        )
+        assert np.array_equal(
+            np.concatenate([b.quals for b in batches]), whole.quals
+        )
+        # Zero-copy views of one parent decode, strand planes lazy.
+        assert all(not b.planes_materialised for b in batches)
+        assert (
+            batches[0].base_codes.base is not None
+            and batches[0].base_codes.base is batches[1].base_codes.base
+        )
+
+    def test_resliced_pipeline_byte_identical(self, bam_workspace, genome):
+        _, bam = bam_workspace
+        results = {}
+        for label, cap in (("whole", None), ("sliced", 64)):
+            results[label] = Pipeline(
+                BamSource(bam, genome.sequence, batch_columns=cap),
+                config=CallerConfig(engine="batched"),
+            ).run()
+        contigs = [(genome.name, len(genome))]
+        assert vcf_bytes(results["whole"], contigs) == vcf_bytes(
+            results["sliced"], contigs
+        )
+        assert (
+            results["whole"].stats.decisions
+            == results["sliced"].stats.decisions
+        )
+
+    def test_invalid_cap_rejected(self, bam_workspace, genome):
+        _, bam = bam_workspace
+        with pytest.raises(ValueError, match="batch_columns"):
+            BamSource(bam, genome.sequence, batch_columns=0)
+
+
 class TestMultiIndex:
     def test_multi_index_covers_both_contigs(self, multi_contig):
         from repro.io.linear_index import build_multi_index

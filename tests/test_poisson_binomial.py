@@ -10,6 +10,7 @@ from repro.stats.poisson_binomial import (
     poibin_sf_binomial,
     poibin_sf_brute_force,
     poibin_sf_dp,
+    poibin_sf_dp_batch,
 )
 
 
@@ -139,6 +140,26 @@ class TestCrossValidation:
             assert poibin_sf(k, p) == pytest.approx(
                 poibin_sf_brute_force(k, p), abs=1e-11
             )
+
+    def test_batch_dp_vs_brute_force_random(self):
+        """The 2-D batch DP against the 2^d oracle, lanes ragged."""
+        for seed in range(10):
+            rng = np.random.default_rng(seed)
+            rows = [
+                rng.uniform(0, 1, size=int(rng.integers(1, 13)))
+                for _ in range(8)
+            ]
+            ks = np.array([int(rng.integers(0, r.size + 2)) for r in rows])
+            lens = np.array([r.size for r in rows])
+            plane = np.zeros((8, int(lens.max())))
+            for i, r in enumerate(rows):
+                plane[i, : r.size] = r
+            res = poibin_sf_dp_batch(ks, plane, lens)
+            for i, r in enumerate(rows):
+                assert res.pvalues[i] == pytest.approx(
+                    poibin_sf_brute_force(int(ks[i]), r), abs=1e-11
+                )
+                assert res.pvalues[i] == poibin_sf_dp(int(ks[i]), r).pvalue
 
     def test_brute_force_limits(self):
         with pytest.raises(ValueError):

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.stats.approximation import (
     poisson_lambda,
@@ -9,6 +11,11 @@ from repro.stats.approximation import (
     poisson_tail_approx_batch,
 )
 from repro.stats.poisson import poisson_sf, poisson_sf_batch
+from repro.stats.poisson_binomial import (
+    poibin_sf_brute_force,
+    poibin_sf_dp,
+    poibin_sf_dp_batch,
+)
 from repro.stats.special import (
     log_gamma,
     log_gamma_batch,
@@ -114,6 +121,123 @@ class TestPoissonSfBatch:
         lams = np.linspace(0.5, 40.0, 30)
         tails = poisson_sf_batch(np.full(30, 10.0), lams)
         assert np.all(np.diff(tails) >= 0)
+
+
+def _ragged_plane(rows):
+    """Pack ragged probability rows into (ks-free) plane + lengths."""
+    lens = np.array([len(r) for r in rows], dtype=np.int64)
+    width = int(lens.max()) if len(rows) else 0
+    plane = np.zeros((len(rows), max(width, 1)), dtype=np.float64)
+    for i, r in enumerate(rows):
+        plane[i, : len(r)] = r
+    return plane, lens
+
+
+#: One hypothesis lane: ragged probabilities (with genuine zeros
+#: possible) plus a tail point that may be degenerate (0 or > d).
+_lane = st.tuples(
+    st.lists(
+        st.floats(0.0, 1.0, allow_nan=False), min_size=1, max_size=18
+    ),
+    st.integers(0, 21),
+)
+
+
+class TestPoibinSfDpBatch:
+    """The 2-D DP must be bit-for-bit the scalar DP per lane."""
+
+    @given(st.lists(_lane, min_size=1, max_size=12))
+    @settings(max_examples=120, deadline=None)
+    def test_matches_scalar_bitwise(self, lanes):
+        plane, lens = _ragged_plane([r for r, _ in lanes])
+        ks = np.array([min(k, len(r) + 2) for r, k in lanes])
+        res = poibin_sf_dp_batch(ks, plane, lens)
+        for i, (row, _) in enumerate(lanes):
+            ref = poibin_sf_dp(int(ks[i]), np.array(row))
+            assert res.pvalues[i] == ref.pvalue  # bitwise, not approx
+            assert bool(res.complete[i]) == ref.complete
+            assert int(res.steps[i]) == ref.steps
+
+    @given(
+        st.lists(_lane, min_size=1, max_size=10),
+        st.floats(1e-9, 0.5, allow_nan=False),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_early_stop_parity(self, lanes, prune):
+        """Pruned lanes freeze at the exact step (and lower bound) the
+        scalar early stop would -- including lanes with interior zero
+        probabilities, where the scalar loop skips the check."""
+        plane, lens = _ragged_plane([r for r, _ in lanes])
+        ks = np.array([min(k, len(r) + 2) for r, k in lanes])
+        res = poibin_sf_dp_batch(ks, plane, lens, prune_above=prune)
+        for i, (row, _) in enumerate(lanes):
+            ref = poibin_sf_dp(int(ks[i]), np.array(row), prune_above=prune)
+            assert res.pvalues[i] == ref.pvalue
+            assert bool(res.complete[i]) == ref.complete
+            assert int(res.steps[i]) == ref.steps
+
+    @given(st.lists(_lane, min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, lanes):
+        """Ground truth: complete lanes agree with 2^d enumeration."""
+        plane, lens = _ragged_plane([r for r, _ in lanes])
+        ks = np.array([min(k, len(r) + 2) for r, k in lanes])
+        res = poibin_sf_dp_batch(ks, plane, lens)
+        for i, (row, _) in enumerate(lanes):
+            oracle = poibin_sf_brute_force(int(ks[i]), np.array(row))
+            assert res.pvalues[i] == pytest.approx(oracle, abs=1e-11)
+
+    def test_empty_lane_set(self):
+        res = poibin_sf_dp_batch(
+            np.zeros(0, dtype=np.int64), np.zeros((0, 4)), np.zeros(0)
+        )
+        assert res.pvalues.shape == (0,)
+        assert res.complete.shape == (0,)
+        assert res.steps.shape == (0,)
+
+    def test_degenerate_lanes(self):
+        """k = 0 and k > d resolve without any sweep, like the scalar
+        special cases, even mixed into a batch with live lanes."""
+        plane, lens = _ragged_plane([[0.3, 0.2], [0.1], [0.5, 0.5, 0.5]])
+        res = poibin_sf_dp_batch(np.array([0, 2, 2]), plane, lens)
+        assert res.pvalues[0] == 1.0 and res.steps[0] == 0
+        assert res.pvalues[1] == 0.0 and res.steps[1] == 0
+        assert res.complete.all()
+        assert res.pvalues[2] == poibin_sf_dp(2, np.array([0.5] * 3)).pvalue
+
+    def test_all_lanes_prune_immediately(self):
+        plane, lens = _ragged_plane([[0.9, 0.9]] * 4)
+        res = poibin_sf_dp_batch(
+            np.array([1] * 4), plane, lens, prune_above=1e-6
+        )
+        assert not res.complete.any()
+        assert (res.steps == 1).all()
+
+    def test_default_lengths_are_full_width(self):
+        plane = np.array([[0.1, 0.2], [0.3, 0.4]])
+        res = poibin_sf_dp_batch(np.array([1, 2]), plane)
+        assert res.pvalues[0] == poibin_sf_dp(1, plane[0]).pvalue
+        assert res.pvalues[1] == poibin_sf_dp(2, plane[1]).pvalue
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            poibin_sf_dp_batch(np.array([1]), np.array([0.5]))
+        with pytest.raises(ValueError, match="shape"):
+            poibin_sf_dp_batch(np.array([1, 2]), np.zeros((1, 3)))
+        with pytest.raises(ValueError, match="k must be"):
+            poibin_sf_dp_batch(np.array([-1]), np.zeros((1, 3)))
+        with pytest.raises(ValueError, match="lie in"):
+            poibin_sf_dp_batch(
+                np.array([1]), np.array([[1.5, 0.0]]), np.array([2])
+            )
+        with pytest.raises(ValueError, match="lengths"):
+            poibin_sf_dp_batch(
+                np.array([1]), np.zeros((1, 3)), np.array([4])
+            )
+        with pytest.raises(ValueError, match="zero-padded"):
+            poibin_sf_dp_batch(
+                np.array([1]), np.array([[0.5, 0.5]]), np.array([1])
+            )
 
 
 class TestPoissonTailApproxBatch:
