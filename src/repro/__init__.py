@@ -47,6 +47,7 @@ from repro.pipeline import (
     VcfSink,
 )
 from repro.sim import (
+    MapqProfile,
     QualityModel,
     ReadSimulator,
     SimulatedSample,
@@ -70,6 +71,7 @@ __all__ = [
     "ExecutionPolicy",
     "JsonlSink",
     "Pipeline",
+    "MapqProfile",
     "PileupColumn",
     "PileupConfig",
     "QualityModel",

@@ -61,6 +61,7 @@ on every input, not just statistically close:
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -73,11 +74,12 @@ from repro.stats.approximation import (
     poisson_tail_approx,
     poisson_tail_approx_batch,
 )
-from repro.stats.fisher import strand_bias_phred
+from repro.stats.fisher import strand_bias_phred_batch
 from repro.stats.poisson_binomial import poibin_sf_dp_batch
 
 __all__ = [
     "GUARD_BAND",
+    "dp4_batch",
     "evaluate_batch",
     "evaluate_columns_batched",
     "exact_batch",
@@ -324,21 +326,56 @@ def screen_batch(
     )
 
 
-def _dp4(
-    batch: ColumnBatch, col: int, ref_code: int, alt_code: int
-) -> Tuple[int, int, int, int]:
-    """LoFreq's DP4 (ref-fwd, ref-rev, alt-fwd, alt-rev) for one
-    column of the batch, from flat-array slices."""
-    lo, hi = int(batch.offsets[col]), int(batch.offsets[col + 1])
-    codes = batch.base_codes[lo:hi]
-    rev = batch.reverse[lo:hi]
-    ref_mask = codes == ref_code
-    alt_mask = codes == alt_code
-    rr = int(np.sum(ref_mask & rev))
-    rf = int(np.sum(ref_mask)) - rr
-    ar = int(np.sum(alt_mask & rev))
-    af = int(np.sum(alt_mask)) - ar
-    return rf, rr, af, ar
+def dp4_batch(
+    batch: ColumnBatch,
+    cols: np.ndarray,
+    ref_codes: np.ndarray,
+    alt_codes: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """LoFreq's DP4 (ref-fwd, ref-rev, alt-fwd, alt-rev) for many
+    (column, alt allele) pairs of one batch at once.
+
+    One fused (column, base code, strand) bincount over the named
+    columns' flat bases replaces the per-call masking loop: the
+    distinct columns' base/strand slices are gathered with a ragged
+    arange, keyed, counted, and the four DP4 entries read off the
+    ``(columns, 5, 2)`` count cube per pair.  Counts are integers, so
+    this is exactly the per-column computation, just batched.
+
+    Args:
+        batch: the columns the indices refer to.
+        cols: int column indices, one per pair (duplicates fine --
+            two alt alleles called at one column share its counts).
+        ref_codes: int reference base code per pair.
+        alt_codes: int alternate base code per pair.
+
+    Returns:
+        Four parallel int64 arrays ``(ref_fwd, ref_rev, alt_fwd,
+        alt_rev)``.
+    """
+    ucols, inverse = np.unique(cols, return_inverse=True)
+    starts = batch.offsets[ucols]
+    lens = batch.depths[ucols]
+    total = int(lens.sum())
+    # Ragged arange: for each distinct column, the flat indices of its
+    # bases (starts[i] .. starts[i] + lens[i]).
+    ends = np.cumsum(lens)
+    flat = np.arange(total, dtype=np.int64) + np.repeat(
+        starts - (ends - lens), lens
+    )
+    codes = batch.base_codes[flat].astype(np.int64)
+    rev = batch.reverse[flat].astype(np.int64)
+    col_of = np.repeat(np.arange(ucols.size, dtype=np.int64), lens)
+    key = (col_of * 5 + codes) * 2 + rev
+    counts = np.bincount(key, minlength=ucols.size * 10).reshape(
+        ucols.size, 5, 2
+    )
+    return (
+        counts[inverse, ref_codes, 0],
+        counts[inverse, ref_codes, 1],
+        counts[inverse, alt_codes, 0],
+        counts[inverse, alt_codes, 1],
+    )
 
 
 def exact_batch(
@@ -362,8 +399,12 @@ def exact_batch(
     depth-sorted chunks capped at :data:`PLANE_ELEMENTS` plane cells,
     bounding memory independently of survivor depth.
 
-    Only pairs that reach an emitted call touch the strand plane (for
-    DP4 / strand bias) -- and no
+    The emitted calls' annotations are vectorised too: DP4 comes from
+    one fused bincount over the called columns (:func:`dp4_batch`)
+    and strand bias from the batched Fisher kernel
+    (:func:`~repro.stats.fisher.strand_bias_phred_batch`), so no
+    scalar per-call loop remains on the call path.  Only pairs that
+    reach an emitted call touch the strand plane -- and no
     :class:`~repro.pileup.column.PileupColumn` is built for any of it.
 
     Args:
@@ -387,7 +428,8 @@ def exact_batch(
     offsets = batch.offsets
     merge = config.merge_mapq
     prune = corrected_alpha if config.early_stop else None
-    ref_codes: Optional[np.ndarray] = None
+    called_rows: List[np.ndarray] = []
+    called_pvalues: List[np.ndarray] = []
 
     # When survivors cover a sizeable fraction of the batch (the
     # no-approximation regime), one whole-plane table gather beats a
@@ -467,31 +509,49 @@ def exact_batch(
         )
         called = significant & ~rejected
         stats.record_decisions(ColumnDecision.CALLED, int(called.sum()))
-        for j in np.nonzero(called)[0]:
-            ci = int(cols[j])
-            if ref_codes is None:
-                ref_codes = batch.ref_codes.astype(np.int64)
-            alt_code = int(pair_code[rows[j]])
-            pvalue = float(pvalues[j])
-            dp4 = _dp4(batch, ci, int(ref_codes[ci]), alt_code)
-            calls.append(
-                VariantCall(
-                    chrom=batch.chrom,
-                    pos=int(batch.positions[ci]),
-                    ref=batch.ref_bases[ci],
-                    alt=CODE_TO_BASE[alt_code],
-                    pvalue=pvalue,
-                    corrected_pvalue=min(
-                        1.0, pvalue / corrected_alpha * config.alpha
-                    ),
-                    depth=int(lens[j]),
-                    alt_count=int(ks[j]),
-                    af=float(af[j]),
-                    dp4=dp4,
-                    strand_bias=strand_bias_phred(*dp4),
-                    used_exact=True,
-                )
+        idx = np.nonzero(called)[0]
+        if idx.size:
+            called_rows.append(rows[idx])
+            called_pvalues.append(pvalues[idx])
+    if not called_rows:
+        return calls
+
+    # Assemble every emitted call's annotations in vectorised passes:
+    # DP4 from one bincount over the called columns, strand bias from
+    # the batched Fisher kernel.  This is the last stage that was a
+    # scalar per-call loop; calls are rare, but variant-dense panels
+    # concentrate them in few batches.
+    sel = np.concatenate(called_rows)
+    pvs = np.concatenate(called_pvalues)
+    cols_all = pair_col[sel]
+    alts_all = pair_code[sel]
+    ks_all = pair_count[sel]
+    lens_all = d_pair[sel]
+    ref_codes = batch.ref_codes.astype(np.int64)
+    rf, rr, af_fwd, ar = dp4_batch(
+        batch, cols_all, ref_codes[cols_all], alts_all
+    )
+    sb = strand_bias_phred_batch(rf, rr, af_fwd, ar)
+    corrected = np.minimum(1.0, pvs / corrected_alpha * config.alpha)
+    afs = ks_all / lens_all
+    for j in range(sel.size):
+        ci = int(cols_all[j])
+        calls.append(
+            VariantCall(
+                chrom=batch.chrom,
+                pos=int(batch.positions[ci]),
+                ref=batch.ref_bases[ci],
+                alt=CODE_TO_BASE[int(alts_all[j])],
+                pvalue=float(pvs[j]),
+                corrected_pvalue=float(corrected[j]),
+                depth=int(lens_all[j]),
+                alt_count=int(ks_all[j]),
+                af=float(afs[j]),
+                dp4=(int(rf[j]), int(rr[j]), int(af_fwd[j]), int(ar[j])),
+                strand_bias=float(sb[j]),
+                used_exact=True,
             )
+        )
     return calls
 
 
@@ -532,6 +592,72 @@ def evaluate_batch(
     return exact_batch(batch, survivors, corrected_alpha, config, stats)
 
 
+class _PackBuffer:
+    """Reusable flat planes for packing loose columns into a batch.
+
+    ``evaluate_columns_batched`` flushes a pack every
+    :data:`BATCH_COLUMNS` columns; allocating four fresh flat arrays
+    per flush (the old ``ColumnBatch.from_columns`` path) churns the
+    allocator under the thread backend.  One buffer per thread is kept
+    and grown geometrically instead; the packed batch holds *views*
+    into it, valid until the next :meth:`pack` on the same thread --
+    exactly the lifetime of one ``evaluate_batch`` call, which fully
+    consumes the batch before the next flush starts.
+    """
+
+    __slots__ = ("codes", "quals", "rev", "mapqs")
+
+    def __init__(self) -> None:
+        self.codes = np.empty(0, dtype=np.uint8)
+        self.quals = np.empty(0, dtype=np.uint8)
+        self.rev = np.empty(0, dtype=bool)
+        self.mapqs = np.empty(0, dtype=np.uint8)
+
+    def pack(self, columns: List[PileupColumn]) -> ColumnBatch:
+        """Pack per-column objects into one batch backed by the
+        reusable buffers (same layout as
+        :meth:`ColumnBatch.from_columns`)."""
+        depths = np.array([c.depth for c in columns], dtype=np.int64)
+        offsets = np.zeros(len(columns) + 1, dtype=np.int64)
+        np.cumsum(depths, out=offsets[1:])
+        total = int(offsets[-1])
+        if self.codes.size < total:
+            size = max(total, 2 * self.codes.size)
+            self.codes = np.empty(size, dtype=np.uint8)
+            self.quals = np.empty(size, dtype=np.uint8)
+            self.rev = np.empty(size, dtype=bool)
+            self.mapqs = np.empty(size, dtype=np.uint8)
+        for i, c in enumerate(columns):
+            lo, hi = int(offsets[i]), int(offsets[i + 1])
+            self.codes[lo:hi] = c.base_codes
+            self.quals[lo:hi] = c.quals
+            self.rev[lo:hi] = c.reverse
+            self.mapqs[lo:hi] = c.mapqs
+        return ColumnBatch(
+            chrom=columns[0].chrom,
+            positions=np.array([c.pos for c in columns], dtype=np.int64),
+            ref_bases="".join(c.ref_base for c in columns),
+            base_codes=self.codes[:total],
+            quals=self.quals[:total],
+            reverse=self.rev[:total],
+            mapqs=self.mapqs[:total],
+            offsets=offsets,
+            n_capped=np.array([c.n_capped for c in columns], dtype=np.int64),
+        )
+
+
+_PACK_LOCAL = threading.local()
+
+
+def _pack_columns(columns: List[PileupColumn]) -> ColumnBatch:
+    """Pack a non-empty same-chromosome run through this thread's
+    reusable :class:`_PackBuffer`."""
+    buffer = getattr(_PACK_LOCAL, "buffer", None)
+    if buffer is None:
+        buffer = _PACK_LOCAL.buffer = _PackBuffer()
+    return buffer.pack(columns)
+
+
 def evaluate_columns_batched(
     columns: Iterable[PileupColumn],
     corrected_alpha: float,
@@ -543,10 +669,11 @@ def evaluate_columns_batched(
 
     Compatibility shim for loose per-column inputs: consecutive
     same-chromosome runs are packed into a
-    :class:`~repro.pileup.column.ColumnBatch`
-    (:meth:`~repro.pileup.column.ColumnBatch.from_columns`) and fed to
+    :class:`~repro.pileup.column.ColumnBatch` and fed to
     :func:`evaluate_batch`, so loose columns and native batches run
-    the identical columnar engine.
+    the identical columnar engine.  Packs go through a reusable
+    per-thread buffer (:class:`_PackBuffer`) instead of allocating
+    four fresh flat arrays per flush.
 
     Args:
         columns: the chunk's pileup columns, any order (a chromosome
@@ -566,10 +693,7 @@ def evaluate_columns_batched(
         if run and column.chrom != run[0].chrom:
             calls.extend(
                 evaluate_batch(
-                    ColumnBatch.from_columns(run),
-                    corrected_alpha,
-                    config,
-                    stats,
+                    _pack_columns(run), corrected_alpha, config, stats
                 )
             )
             run = []
@@ -577,7 +701,7 @@ def evaluate_columns_batched(
     if run:
         calls.extend(
             evaluate_batch(
-                ColumnBatch.from_columns(run), corrected_alpha, config, stats
+                _pack_columns(run), corrected_alpha, config, stats
             )
         )
     return calls

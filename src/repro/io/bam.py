@@ -196,6 +196,15 @@ def aligned_base_arrays(
     ``BASE_TO_CODE.get(char, N_CODE)`` (no case folding); a missing
     quality string reads as all-zero qualities (which the default
     ``min_baseq`` then drops, as in the streaming engine).
+
+    This is the decode half of the streaming columnar spine: each
+    record's arrays feed
+    :meth:`repro.pileup.vectorized.ColumnBatchBuilder.add_read` as
+    one zero-copy segment (the ungapped common case returns direct
+    views into the record), and the builder flushes bounded
+    :class:`~repro.pileup.column.ColumnBatch` work units as the
+    coordinate-sorted scan advances -- BAM bytes to screened batches
+    without a whole-chunk array anywhere.
     """
     from repro.pileup.column import encode_read_bases
 

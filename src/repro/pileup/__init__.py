@@ -14,7 +14,9 @@ is the equivalent of ``samtools mpileup``:
   cap (LoFreq defaults to 1,000,000 -- see Table I's footnote); plus
   the batch-emitting sweep :func:`pileup_batches`.
 * :mod:`repro.pileup.vectorized` -- bulk columnar construction from
-  read matrices and CIGAR-aware alignments.
+  read matrices and CIGAR-aware alignments, plus the incremental
+  bounded-memory :class:`ColumnBatchBuilder` (the streaming source
+  spine: construction memory is one flush window, not one chunk).
 """
 
 from repro.pileup.column import (
@@ -25,14 +27,17 @@ from repro.pileup.column import (
     PileupColumn,
 )
 from repro.pileup.engine import PileupConfig, pileup, pileup_batches
+from repro.pileup.vectorized import ColumnBatchBuilder, iter_pileup_batches
 
 __all__ = [
     "BASES",
     "BASE_TO_CODE",
     "CODE_TO_BASE",
     "ColumnBatch",
+    "ColumnBatchBuilder",
     "PileupColumn",
     "PileupConfig",
+    "iter_pileup_batches",
     "pileup",
     "pileup_batches",
 ]

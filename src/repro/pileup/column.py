@@ -200,6 +200,21 @@ class ColumnBatch:
     access.  The batched screen never touches them for a fully
     screened-out span, so the scatters are skipped entirely there;
     :attr:`planes_materialised` reports whether they have been built.
+
+    Example -- two columns at positions 5 and 7, depths 2 and 1::
+
+        >>> import numpy as np
+        >>> batch = ColumnBatch(
+        ...     chrom="chr1", positions=np.array([5, 7]), ref_bases="AC",
+        ...     base_codes=np.array([0, 1, 1], dtype=np.uint8),
+        ...     quals=np.array([30, 20, 25], dtype=np.uint8),
+        ...     reverse=np.array([False, True, False]),
+        ...     mapqs=np.array([60, 60, 60], dtype=np.uint8),
+        ...     offsets=np.array([0, 2, 3]), n_capped=np.array([0, 0]))
+        >>> batch.depths.tolist()
+        [2, 1]
+        >>> batch.column(1).ref_base        # zero-copy per-column view
+        'C'
     """
 
     __slots__ = (
@@ -299,6 +314,7 @@ class ColumnBatch:
 
     @property
     def n_columns(self) -> int:
+        """Number of (non-empty) columns in the batch."""
         return int(self.positions.size)
 
     def __len__(self) -> int:

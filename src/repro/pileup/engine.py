@@ -87,6 +87,7 @@ class _ColumnAccumulator:
         self.capped = 0
 
     def add(self, code: int, qual: int, rev: bool, mapq: int, cap: int) -> None:
+        """Append one base, counting instead of storing past ``cap``."""
         if len(self.codes) >= cap:
             self.capped += 1
             return
@@ -96,6 +97,7 @@ class _ColumnAccumulator:
         self.mapqs.append(mapq)
 
     def to_column(self, chrom: str, pos: int, ref_base: str) -> PileupColumn:
+        """Freeze the accumulated bases into a column value."""
         return PileupColumn(
             chrom=chrom,
             pos=pos,
@@ -206,72 +208,36 @@ def pileup_batches(
     region: Region,
     config: Optional[PileupConfig] = None,
     *,
-    batch_columns: int = BATCH_SWEEP_COLUMNS,
+    batch_columns: Optional[int] = BATCH_SWEEP_COLUMNS,
 ) -> Iterator[ColumnBatch]:
     """Batch-emitting sweep: like :func:`pileup` but yields
-    :class:`~repro.pileup.column.ColumnBatch` spans of up to
-    ``batch_columns`` non-empty columns, never materialising the
-    per-column :class:`PileupColumn` objects in between.
+    :class:`~repro.pileup.column.ColumnBatch` spans of at most
+    ``batch_columns`` columns, never materialising the per-column
+    :class:`PileupColumn` objects in between.
 
-    Memory stays proportional to read length x depth plus one batch,
-    like the streaming sweep; the columns covered are identical.
+    Since PR 5 this delegates to the incremental
+    :class:`~repro.pileup.vectorized.ColumnBatchBuilder` (the
+    per-base Python list accumulators are gone): reads are deposited
+    as flat segment arrays and a completed window is flushed as soon
+    as the scan passes it, so memory stays proportional to one flush
+    window -- read length x depth plus ``batch_columns`` columns --
+    and the columns covered are identical to :func:`pileup`.
+    ``batch_columns=None`` emits one batch for the whole region.
 
     Raises:
-        ValueError: if the input violates coordinate sorting or
-            ``batch_columns`` is not positive.
+        ValueError: if ``batch_columns`` is not positive (raised
+            eagerly, at call time) or the input violates coordinate
+            sorting (raised during iteration).
     """
-    if batch_columns <= 0:
+    from repro.pileup.vectorized import iter_pileup_batches
+
+    if batch_columns is not None and batch_columns <= 0:
         raise ValueError(
             f"batch_columns must be positive, got {batch_columns}"
         )
-    cfg = config or PileupConfig()
-    positions: List[int] = []
-    ref_bases: List[str] = []
-    codes: List[int] = []
-    quals: List[int] = []
-    reverse: List[bool] = []
-    mapqs: List[int] = []
-    offsets: List[int] = [0]
-    capped: List[int] = []
-
-    def flush() -> ColumnBatch:
-        batch = ColumnBatch(
-            chrom=region.chrom,
-            positions=np.array(positions, dtype=np.int64),
-            ref_bases="".join(ref_bases),
-            base_codes=np.array(codes, dtype=np.uint8),
-            quals=np.array(quals, dtype=np.uint8),
-            reverse=np.array(reverse, dtype=bool),
-            mapqs=np.array(mapqs, dtype=np.uint8),
-            offsets=np.array(offsets, dtype=np.int64),
-            n_capped=np.array(capped, dtype=np.int64),
-        )
-        positions.clear()
-        ref_bases.clear()
-        codes.clear()
-        quals.clear()
-        reverse.clear()
-        mapqs.clear()
-        offsets.clear()
-        offsets.append(0)
-        capped.clear()
-        return batch
-
-    for pos, builder in _sweep(reads, region, cfg):
-        if builder is None:
-            continue
-        positions.append(pos)
-        ref_bases.append(reference[pos].upper())
-        codes.extend(builder.codes)
-        quals.extend(builder.quals)
-        reverse.extend(builder.reverse)
-        mapqs.extend(builder.mapqs)
-        offsets.append(len(codes))
-        capped.append(builder.capped)
-        if len(positions) >= batch_columns:
-            yield flush()
-    if positions:
-        yield flush()
+    return iter_pileup_batches(
+        reads, reference, region, config, batch_columns=batch_columns
+    )
 
 
 def _deposit(

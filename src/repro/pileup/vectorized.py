@@ -35,15 +35,24 @@ import numpy as np
 from repro.io.records import AlignedRead
 from repro.io.regions import Region
 from repro.pileup.column import ColumnBatch, PileupColumn
-from repro.pileup.engine import PileupConfig
+from repro.pileup.engine import BATCH_SWEEP_COLUMNS, PileupConfig
 
 __all__ = [
+    "ColumnBatchBuilder",
+    "iter_pileup_batches",
     "pileup_batch_from_arrays",
     "pileup_batch_from_reads",
     "pileup_from_arrays",
     "pileup_sample",
     "pileup_sample_batch",
 ]
+
+#: Default columns per batch flushed by :class:`ColumnBatchBuilder`
+#: (and therefore by :func:`iter_pileup_batches`): the batch-emitting
+#: sweep's historical granularity, which matches the batched caller
+#: engine's internal slice size so one flushed batch feeds one
+#: vectorised screening pass.
+BUILDER_BATCH_COLUMNS = BATCH_SWEEP_COLUMNS
 
 
 def _ref_bases_at(reference: str, positions: np.ndarray) -> str:
@@ -115,6 +124,7 @@ def _batch_from_flat(
                 ] = uncapped,
                 _keep: np.ndarray = keep,
             ) -> Tuple[np.ndarray, np.ndarray]:
+                """The deferred planes with the depth-cap mask folded in."""
                 rev, mq = _build()
                 return rev[_keep], mq[_keep]
 
@@ -398,91 +408,322 @@ def pileup_from_arrays(
     return batch.columns()
 
 
-def pileup_batch_from_reads(
-    reads: Iterable[AlignedRead],
-    reference: str,
-    region: Region,
-    config: Optional[PileupConfig] = None,
-) -> ColumnBatch:
-    """Columnar pileup over coordinate-sorted alignments.
+class ColumnBatchBuilder:
+    """Incremental, bounded-memory columnar pileup construction.
 
-    The CIGAR-aware twin of :func:`pileup_batch_from_arrays`: each
-    read's aligned bases are decoded into flat arrays in one shot
-    (:func:`repro.io.bam.aligned_base_arrays`), concatenated in read
-    order, filtered, and stable-sorted by position -- so within a
-    column bases keep the streaming engine's deposit order and the
-    depth cap drops exactly the same reads.  Read-level semantics
-    (chromosome/region skips, flag filters, the coordinate-sort check)
-    are identical to :func:`repro.pileup.engine.pileup`.
+    Reads arrive one at a time in coordinate order (the order a sorted
+    BAM yields them); each read's aligned bases are deposited as flat
+    per-read *segment arrays* -- no per-base Python lists anywhere --
+    and, because every later read starts at or after the current one,
+    all columns strictly left of the newest read's start are complete.
+    As soon as the scan passes ``batch_columns`` reference positions,
+    the completed window is assembled into a
+    :class:`~repro.pileup.column.ColumnBatch` and emitted (sliced
+    zero-copy into work units of at most ``batch_columns`` columns,
+    strand/mapq planes still lazy), and its segments are released.
 
-    The batch's strand/mapq planes are built *lazily*: the screen only
-    reads base codes and qualities, so the per-base strand/mapq
-    scatters are deferred into the batch and run only if the
-    ``merge_mapq`` error model or a surviving column's DP4 actually
-    needs them (pure screen-outs skip them entirely).
+    Peak construction memory is therefore bounded by the bases of one
+    window (roughly ``batch_columns`` x depth, plus one read span) --
+    **not** by the chunk being scanned, which is what lets a
+    whole-genome region stream through the caller in constant memory.
+
+    Columns, offsets, depth capping, ``min_baseq`` filtering and the
+    within-column deposit order are bit-identical to building the whole
+    chunk at once with :func:`pileup_batch_from_reads` (which is itself
+    a one-window instance of this builder) and to the streaming engine
+    (:func:`repro.pileup.engine.pileup`); the property suite in
+    ``tests/test_column_batch.py`` asserts it per flush boundary.
+
+    Example -- stream a read list in bounded batches::
+
+        builder = ColumnBatchBuilder(reference, region, batch_columns=1024)
+        for read in reads:                  # coordinate-sorted
+            for batch in builder.add_read(read):
+                consume(batch)              # at most 1024 columns each
+            if builder.done:
+                break
+        for batch in builder.finish():
+            consume(batch)
+
+    (:func:`iter_pileup_batches` wraps exactly this loop.)
+
+    Args:
+        reference: reference sequence for ``region.chrom`` (indexed
+            absolutely by position).
+        region: half-open interval to build columns for.
+        config: pileup filtering parameters (defaults to
+            :class:`~repro.pileup.engine.PileupConfig`).
+        batch_columns: flush granularity -- emitted batches hold at
+            most this many columns.  ``None`` disables incremental
+            flushing: everything is assembled as one batch by
+            :meth:`finish` (the whole-chunk compatibility mode).
 
     Raises:
-        ValueError: if the input violates coordinate sorting.
+        ValueError: if ``batch_columns`` is not positive.
     """
-    from repro.io.bam import aligned_base_arrays
 
-    cfg = config or PileupConfig()
-    pos_parts: List[np.ndarray] = []
-    code_parts: List[np.ndarray] = []
-    qual_parts: List[np.ndarray] = []
-    rev_flags: List[bool] = []
-    mapq_vals: List[int] = []
-    lengths: List[int] = []
-    last_read_pos = -1
-    for read in reads:
-        if read.rname != region.chrom:
-            continue
-        if read.is_unmapped:
-            continue
-        if read.pos < last_read_pos:
+    def __init__(
+        self,
+        reference: str,
+        region: Region,
+        config: Optional[PileupConfig] = None,
+        *,
+        batch_columns: Optional[int] = BUILDER_BATCH_COLUMNS,
+    ) -> None:
+        if batch_columns is not None and batch_columns <= 0:
+            raise ValueError(
+                f"batch_columns must be positive, got {batch_columns}"
+            )
+        self.reference = reference
+        self.region = region
+        self.config = config or PileupConfig()
+        self.batch_columns = batch_columns
+        # Bound once per builder, not once per record: add_read sits
+        # on the hottest per-record path (import at call time avoids
+        # the io<->pileup module cycle at import time).
+        from repro.io.bam import aligned_base_arrays
+
+        self._aligned_base_arrays = aligned_base_arrays
+        #: True once a read at or beyond ``region.end`` has been seen:
+        #: no further column can change, so driver loops may stop
+        #: feeding reads (mirroring the streaming sweep's early break).
+        self.done = False
+        self._pos_parts: List[np.ndarray] = []
+        self._code_parts: List[np.ndarray] = []
+        self._qual_parts: List[np.ndarray] = []
+        self._rev_flags: List[bool] = []
+        self._mapq_vals: List[int] = []
+        self._flush_from = region.start
+        self._last_read_pos = -1
+        self._finished = False
+
+    def add_read(self, read: AlignedRead) -> List[ColumnBatch]:
+        """Deposit one alignment; return any batches it completed.
+
+        Read-level semantics -- chromosome/region skips, flag and
+        mapping-quality filters, the coordinate-sort check -- are
+        identical to :func:`repro.pileup.engine.pileup`.
+
+        Raises:
+            ValueError: if the input violates coordinate sorting, or
+                the builder was already finished.
+        """
+        if self._finished:
+            raise ValueError("builder already finished")
+        if read.rname != self.region.chrom or read.is_unmapped:
+            return []
+        if read.pos < self._last_read_pos:
             raise ValueError(
                 f"reads are not coordinate-sorted: {read.qname} at "
-                f"{read.pos} after {last_read_pos}"
+                f"{read.pos} after {self._last_read_pos}"
             )
-        last_read_pos = read.pos
-        if read.pos >= region.end:
-            break
-        if read.reference_end <= region.start:
-            continue
-        if not cfg.read_passes(read):
-            continue
-        positions, codes, quals = aligned_base_arrays(read)
-        if positions.size == 0:
-            continue
-        pos_parts.append(positions)
-        code_parts.append(codes)
-        qual_parts.append(quals)
-        rev_flags.append(read.is_reverse)
-        mapq_vals.append(min(read.mapq, 255))
-        lengths.append(positions.size)
-    if not pos_parts:
-        return ColumnBatch.empty(region.chrom)
+        self._last_read_pos = read.pos
+        if read.pos >= self.region.end:
+            self.done = True
+            return []
+        out = self._maybe_flush(read.pos)
+        if read.reference_end <= self.region.start:
+            return out
+        if not self.config.read_passes(read):
+            return out
+        positions, codes, quals = self._aligned_base_arrays(read)
+        self._deposit(positions, codes, quals, read.is_reverse, read.mapq)
+        return out
 
+    def add(
+        self,
+        positions: np.ndarray,
+        codes: np.ndarray,
+        quals: np.ndarray,
+        reverse: bool,
+        mapq: int,
+    ) -> List[ColumnBatch]:
+        """Deposit one pre-decoded read (sorted aligned positions plus
+        parallel uint8 base codes / Phred qualities, a strand flag and
+        a mapping quality); return any batches it completed.
+
+        The caller is responsible for read-level filtering; reads must
+        arrive sorted by their first aligned position.
+
+        Raises:
+            ValueError: if the input violates coordinate sorting, or
+                the builder was already finished.
+        """
+        if self._finished:
+            raise ValueError("builder already finished")
+        if positions.size == 0:
+            return []
+        start = int(positions[0])
+        if start < self._last_read_pos:
+            raise ValueError(
+                f"reads are not coordinate-sorted: read at {start} "
+                f"after {self._last_read_pos}"
+            )
+        self._last_read_pos = start
+        if start >= self.region.end:
+            self.done = True
+            return []
+        out = self._maybe_flush(start)
+        self._deposit(positions, codes, quals, reverse, mapq)
+        return out
+
+    def finish(self) -> List[ColumnBatch]:
+        """Flush everything still pending and seal the builder.
+
+        Returns the final batches (possibly empty).  Idempotent; any
+        further :meth:`add_read` / :meth:`add` raises.
+        """
+        if self._finished:
+            return []
+        self._finished = True
+        return self._flush(self.region.end)
+
+    # -- internals ---------------------------------------------------------
+
+    def _deposit(
+        self,
+        positions: np.ndarray,
+        codes: np.ndarray,
+        quals: np.ndarray,
+        reverse: bool,
+        mapq: int,
+    ) -> None:
+        """Clip one read's segment to the region and keep it pending."""
+        lo = int(np.searchsorted(positions, self.region.start, side="left"))
+        hi = int(np.searchsorted(positions, self.region.end, side="left"))
+        if hi <= lo:
+            return
+        self._pos_parts.append(positions[lo:hi])
+        self._code_parts.append(codes[lo:hi])
+        self._qual_parts.append(quals[lo:hi])
+        self._rev_flags.append(bool(reverse))
+        self._mapq_vals.append(min(int(mapq), 255))
+
+    def _maybe_flush(self, frontier: int) -> List[ColumnBatch]:
+        """Flush the complete window once the scan has advanced at
+        least ``batch_columns`` positions past the last flush."""
+        if self.batch_columns is None:
+            return []
+        if frontier - self._flush_from < self.batch_columns:
+            return []
+        return self._flush(frontier)
+
+    def _flush(self, bound: int) -> List[ColumnBatch]:
+        """Assemble and emit every column strictly left of ``bound``.
+
+        Segments straddling the boundary are split zero-copy (their
+        tails stay pending in arrival order, so a read spanning any
+        number of flush boundaries deposits into each window exactly
+        the bases that belong there, in the same within-column order
+        as a whole-chunk build).
+        """
+        bound = min(bound, self.region.end)
+        if bound <= self._flush_from:
+            return []
+        win_pos: List[np.ndarray] = []
+        win_codes: List[np.ndarray] = []
+        win_quals: List[np.ndarray] = []
+        win_rev: List[bool] = []
+        win_mapq: List[int] = []
+        keep_pos: List[np.ndarray] = []
+        keep_codes: List[np.ndarray] = []
+        keep_quals: List[np.ndarray] = []
+        keep_rev: List[bool] = []
+        keep_mapq: List[int] = []
+        for seg_pos, seg_codes, seg_quals, rev, mq in zip(
+            self._pos_parts,
+            self._code_parts,
+            self._qual_parts,
+            self._rev_flags,
+            self._mapq_vals,
+        ):
+            if int(seg_pos[-1]) < bound:
+                win_pos.append(seg_pos)
+                win_codes.append(seg_codes)
+                win_quals.append(seg_quals)
+                win_rev.append(rev)
+                win_mapq.append(mq)
+                continue
+            if int(seg_pos[0]) >= bound:
+                keep_pos.append(seg_pos)
+                keep_codes.append(seg_codes)
+                keep_quals.append(seg_quals)
+                keep_rev.append(rev)
+                keep_mapq.append(mq)
+                continue
+            cut = int(np.searchsorted(seg_pos, bound, side="left"))
+            win_pos.append(seg_pos[:cut])
+            win_codes.append(seg_codes[:cut])
+            win_quals.append(seg_quals[:cut])
+            win_rev.append(rev)
+            win_mapq.append(mq)
+            keep_pos.append(seg_pos[cut:])
+            keep_codes.append(seg_codes[cut:])
+            keep_quals.append(seg_quals[cut:])
+            keep_rev.append(rev)
+            keep_mapq.append(mq)
+        self._pos_parts = keep_pos
+        self._code_parts = keep_codes
+        self._qual_parts = keep_quals
+        self._rev_flags = keep_rev
+        self._mapq_vals = keep_mapq
+        self._flush_from = bound
+        if not win_pos:
+            return []
+        batch = _assemble_window(
+            self.region.chrom,
+            win_pos,
+            win_codes,
+            win_quals,
+            win_rev,
+            win_mapq,
+            self.reference,
+            self.config,
+        )
+        cap = self.batch_columns
+        n = batch.n_columns
+        if n == 0:
+            return []
+        if cap is None or n <= cap:
+            return [batch]
+        return [
+            batch.slice_columns(lo, min(lo + cap, n))
+            for lo in range(0, n, cap)
+        ]
+
+
+def _assemble_window(
+    chrom: str,
+    pos_parts: List[np.ndarray],
+    code_parts: List[np.ndarray],
+    qual_parts: List[np.ndarray],
+    rev_flags: List[bool],
+    mapq_vals: List[int],
+    reference: str,
+    cfg: PileupConfig,
+) -> ColumnBatch:
+    """One window's segments -> one batch: concatenate in read-arrival
+    order, mask ``min_baseq``, stable-sort by position (preserving the
+    streaming deposit order within each column), defer the strand/mapq
+    scatters into a lazy planes thunk."""
     positions = np.concatenate(pos_parts)
     flat_codes = np.concatenate(code_parts)
     flat_quals = np.concatenate(qual_parts)
-    counts = np.array(lengths, dtype=np.int64)
+    counts = np.array([p.size for p in pos_parts], dtype=np.int64)
 
-    mask = (
-        (positions >= region.start)
-        & (positions < region.end)
-        & (flat_quals >= cfg.min_baseq)
-    )
+    mask = flat_quals >= cfg.min_baseq
     all_in = bool(mask.all())
-    positions = positions[mask]
-    flat_codes = flat_codes[mask]
-    flat_quals = flat_quals[mask]
+    if not all_in:
+        positions = positions[mask]
+        flat_codes = flat_codes[mask]
+        flat_quals = flat_quals[mask]
     if positions.size == 0:
-        return ColumnBatch.empty(region.chrom)
+        return ColumnBatch.empty(chrom)
 
     order = np.argsort(positions, kind="stable")
 
     def planes() -> Tuple[np.ndarray, np.ndarray]:
+        """Deferred strand/mapq scatters for this window."""
         rev = np.repeat(np.array(rev_flags, dtype=bool), counts)
         mqs = np.repeat(np.array(mapq_vals, dtype=np.uint8), counts)
         if not all_in:
@@ -491,7 +732,7 @@ def pileup_batch_from_reads(
         return rev[order], mqs[order]
 
     return _batch_from_flat(
-        region.chrom,
+        chrom,
         positions[order],
         flat_codes[order],
         flat_quals[order],
@@ -503,6 +744,88 @@ def pileup_batch_from_reads(
     )
 
 
+def iter_pileup_batches(
+    reads: Iterable[AlignedRead],
+    reference: str,
+    region: Region,
+    config: Optional[PileupConfig] = None,
+    *,
+    batch_columns: Optional[int] = BUILDER_BATCH_COLUMNS,
+) -> Iterator[ColumnBatch]:
+    """Stream coordinate-sorted alignments through a
+    :class:`ColumnBatchBuilder`, yielding bounded
+    :class:`~repro.pileup.column.ColumnBatch` work units as the scan
+    completes them.
+
+    Construction memory stays proportional to one flush window
+    (``batch_columns`` columns), never the whole region -- the
+    bounded-memory twin of :func:`pileup_batch_from_reads`, with
+    identical columns overall (the batched caller engine produces
+    byte-identical calls from either).
+
+    Example::
+
+        for batch in iter_pileup_batches(reads, ref, region,
+                                         batch_columns=1024):
+            survivors = screen_batch(batch, alpha, config, stats)
+
+    Raises:
+        ValueError: if the input violates coordinate sorting or
+            ``batch_columns`` is not positive.
+    """
+    builder = ColumnBatchBuilder(
+        reference, region, config, batch_columns=batch_columns
+    )
+    for read in reads:
+        yield from builder.add_read(read)
+        if builder.done:
+            break
+    yield from builder.finish()
+
+
+def pileup_batch_from_reads(
+    reads: Iterable[AlignedRead],
+    reference: str,
+    region: Region,
+    config: Optional[PileupConfig] = None,
+) -> ColumnBatch:
+    """Columnar pileup over coordinate-sorted alignments, as one batch.
+
+    The CIGAR-aware twin of :func:`pileup_batch_from_arrays`: each
+    read's aligned bases are decoded into flat arrays in one shot
+    (:func:`repro.io.bam.aligned_base_arrays`), concatenated in read
+    order, filtered, and stable-sorted by position -- so within a
+    column bases keep the streaming engine's deposit order and the
+    depth cap drops exactly the same reads.  Read-level semantics
+    (chromosome/region skips, flag filters, the coordinate-sort check)
+    are identical to :func:`repro.pileup.engine.pileup`.
+
+    Implemented as a one-window :class:`ColumnBatchBuilder` pass
+    (``batch_columns=None``), so construction memory is the whole
+    chunk; callers that can consume batches incrementally should use
+    :func:`iter_pileup_batches` instead, which bounds memory at one
+    flush window.
+
+    The batch's strand/mapq planes are built *lazily*: the screen only
+    reads base codes and qualities, so the per-base strand/mapq
+    scatters are deferred into the batch and run only if the
+    ``merge_mapq`` error model or a surviving column's DP4 actually
+    needs them (pure screen-outs skip them entirely).
+
+    Raises:
+        ValueError: if the input violates coordinate sorting.
+    """
+    builder = ColumnBatchBuilder(
+        reference, region, config, batch_columns=None
+    )
+    for read in reads:
+        builder.add_read(read)
+        if builder.done:
+            break
+    batches = builder.finish()
+    return batches[0] if batches else ColumnBatch.empty(region.chrom)
+
+
 def pileup_sample_batch(
     sample,
     region: Optional[Region] = None,
@@ -510,10 +833,16 @@ def pileup_sample_batch(
 ) -> ColumnBatch:
     """Columnar pileup of a :class:`~repro.sim.reads.SimulatedSample`.
 
-    ``region`` defaults to the whole genome.
+    ``region`` defaults to the whole genome.  A sample carrying a
+    per-read ``mapqs`` vector (simulated from a
+    :class:`~repro.sim.quality.MapqProfile`) feeds it through as the
+    per-read mapping qualities, so ``min_mapq`` filtering and
+    ``merge_mapq`` models see the same per-read values the BAM path
+    would.
     """
     if region is None:
         region = Region(sample.genome.name, 0, len(sample.genome))
+    mapqs = getattr(sample, "mapqs", None)
     return pileup_batch_from_arrays(
         sample.starts,
         sample.codes,
@@ -522,7 +851,7 @@ def pileup_sample_batch(
         sample.genome.sequence,
         region,
         config,
-        mapq=sample.mapq,
+        mapq=sample.mapq if mapqs is None else mapqs,
     )
 
 

@@ -99,16 +99,53 @@ def _chunk_units(
     chunk: Region,
     tracer: Tracer,
     worker: int,
-):
+) -> Tuple[object, bool]:
     """The work units of one chunk: structure-of-arrays batches for
     the batched engine (when the source speaks columnar), per-column
     objects otherwise.  Either form feeds
-    :meth:`VariantCaller.call_columns` unchanged."""
+    :meth:`VariantCaller.call_columns` unchanged.
+
+    Returns ``(units, is_batch_stream)``: batch streams may be lazy
+    generators whose batches are built only as the worker pulls them,
+    so the worker evaluates them one at a time (keeping in-flight
+    memory one batch, and the trace's source/probability attribution
+    disjoint).
+    """
     if caller.config.engine == "batched":
         batches_for = getattr(source, "batches_for", None)
         if batches_for is not None:
-            return batches_for(chunk, tracer, worker)
-    return source.columns_for(chunk, tracer, worker)
+            return batches_for(chunk, tracer, worker), True
+    return source.columns_for(chunk, tracer, worker), False
+
+
+def _evaluate_chunk(
+    worker: int,
+    source: ColumnSource,
+    caller: VariantCaller,
+    chunk: Region,
+    scope: int,
+    tracer: Tracer,
+    merged: CallResult,
+) -> None:
+    """Evaluate one chunk's work units into ``merged``.
+
+    Batch streams are pulled *outside* the probability span -- the
+    source records its own BAM_ITER/DECOMPRESS time per pull -- and
+    each batch is evaluated as its own unit, so a lazily-built chunk
+    never has all its batches in memory at once.
+    """
+    units, is_batch_stream = _chunk_units(
+        source, caller, chunk, tracer, worker
+    )
+    if not is_batch_stream:
+        with tracer.span(worker, Category.PROB):
+            result = caller.call_columns(units, scope, apply_filters=False)
+        merged.merge(result)
+        return
+    for batch in units:
+        with tracer.span(worker, Category.PROB):
+            result = caller.call_columns(batch, scope, apply_filters=False)
+        merged.merge(result)
 
 
 def _worker_loop(
@@ -127,12 +164,9 @@ def _worker_loop(
         if item is None:
             break
         for chunk in _flatten(item):
-            columns = _chunk_units(source, caller, chunk, tracer, worker)
-            with tracer.span(worker, Category.PROB):
-                result = caller.call_columns(
-                    columns, scope, apply_filters=False
-                )
-            merged.merge(result)
+            _evaluate_chunk(
+                worker, source, caller, chunk, scope, tracer, merged
+            )
     return merged
 
 
@@ -155,6 +189,22 @@ def _record_barrier(tracer: Tracer, n_workers: int) -> None:
 
 class Pipeline:
     """Source -> engine -> sinks, behind a single :meth:`run`.
+
+    Example -- call every contig of a BAM with four threads, writing
+    a VCF and a machine-readable stats report as the calls stream::
+
+        from repro.pipeline import (BamSource, ExecutionPolicy,
+                                    Pipeline, StatsSink, VcfSink)
+        from repro.io.fasta import load_reference
+
+        source = BamSource("sample.bam", load_reference("ref.fa"))
+        result = Pipeline(
+            source,
+            policy=ExecutionPolicy(mode="thread", n_workers=4,
+                                   chunk_columns=256),
+            sinks=[VcfSink("calls.vcf", contigs=source.contigs),
+                   StatsSink("stats.json")],
+        ).run()
 
     Args:
         source: where columns come from (see
@@ -257,6 +307,7 @@ class Pipeline:
             errors: List[Optional[BaseException]] = [None] * n_workers
 
             def run_worker(w: int) -> None:
+                """One thread's worker loop, errors captured for re-raise."""
                 try:
                     results[w] = _worker_loop(
                         w, scheduler, self.source, caller, scope, tracer
@@ -363,8 +414,5 @@ def _process_worker(args: Tuple[int, List[Region]]):
     tracer = Tracer()
     merged = CallResult(calls=[], stats=RunStats())
     for chunk in chunk_list:
-        columns = _chunk_units(source, caller, chunk, tracer, worker)
-        with tracer.span(worker, Category.PROB):
-            result = caller.call_columns(columns, scope, apply_filters=False)
-        merged.merge(result)
+        _evaluate_chunk(worker, source, caller, chunk, scope, tracer, merged)
     return merged.calls, merged.stats, tracer.events

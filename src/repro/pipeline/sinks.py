@@ -95,6 +95,7 @@ class VcfSink:
         self._writer = None
 
     def start(self) -> None:
+        """Open the destination and emit the VCF header."""
         from repro.io.vcf import VcfWriter
 
         self._writer = VcfWriter(
@@ -105,9 +106,11 @@ class VcfSink:
         )
 
     def write(self, call: VariantCall) -> None:
+        """Append one call as a VCF record line."""
         self._writer.write(call.to_vcf_record())
 
     def finish(self, result: CallResult) -> None:
+        """Close the file and record the final record count."""
         if self._writer is not None:
             self.records_written = self._writer.records_written
             self._writer.close()
@@ -153,14 +156,17 @@ class JsonlSink:
         self._owned = False
 
     def start(self) -> None:
+        """Open the destination handle."""
         self._handle, self._owned = _open_text(self.dest)
         self.records_written = 0
 
     def write(self, call: VariantCall) -> None:
+        """Append one call as a JSON object line."""
         self._handle.write(json.dumps(_call_payload(call)) + "\n")
         self.records_written += 1
 
     def finish(self, result: CallResult) -> None:
+        """Close the handle (only if this sink opened it)."""
         if self._handle is not None and self._owned:
             self._handle.close()
         self._handle = None
@@ -177,12 +183,13 @@ class StatsSink:
         self.dest = dest
 
     def start(self) -> None:
-        pass
+        """Nothing to open -- the report is written on finish."""
 
     def write(self, call: VariantCall) -> None:
-        pass
+        """Per-call output is not part of a stats report."""
 
     def finish(self, result: CallResult) -> None:
+        """Serialise the run's counters and call census as JSON."""
         payload = {
             "n_calls": len(result.calls),
             "n_pass": len(result.passed),
@@ -204,18 +211,22 @@ class TeeSink:
         self.sinks: List[CallSink] = list(sinks)
 
     def start(self) -> None:
+        """Start every downstream sink."""
         for sink in self.sinks:
             sink.start()
 
     def write(self, call: VariantCall) -> None:
+        """Write the call to every downstream sink."""
         for sink in self.sinks:
             sink.write(call)
 
     def finish(self, result: CallResult) -> None:
+        """Finish every downstream sink."""
         for sink in self.sinks:
             sink.finish(result)
 
     def abort(self) -> None:
+        """Abort every downstream sink that supports it."""
         for sink in self.sinks:
             abort = getattr(sink, "abort", None)
             if abort is not None:

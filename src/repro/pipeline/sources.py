@@ -61,6 +61,22 @@ __all__ = [
 #: ``FastaRecord`` values both work).
 ReferenceLike = Union[str, Mapping[str, object]]
 
+#: Default cap on the columns per emitted batch work unit, shared by
+#: every source (16 engine-sized slices).  Small enough that a
+#: worker's in-flight construction memory is a few batches, large
+#: enough to amortise the vectorised passes.
+DEFAULT_BATCH_COLUMNS = 16384
+
+
+def _validate_batch_columns(batch_columns: Optional[int]) -> Optional[int]:
+    """Shared ``batch_columns`` contract of every source: a positive
+    column cap, or ``None`` for one batch per chunk."""
+    if batch_columns is not None and batch_columns <= 0:
+        raise ValueError(
+            f"batch_columns must be positive, got {batch_columns}"
+        )
+    return batch_columns
+
 
 @runtime_checkable
 class ColumnSource(Protocol):
@@ -96,15 +112,27 @@ class ColumnsSource:
         columns: pileup columns covering ``region`` (any iterable; a
             one-shot iterator is materialised on first use).
         region: the Bonferroni scope the columns represent.
+        batch_columns: cap on the columns packed into one emitted
+            :class:`~repro.pileup.column.ColumnBatch` work unit, so
+            each pack's flat copies stay bounded; ``None`` packs each
+            chunk as a single batch.
     """
 
-    def __init__(self, columns: Iterable[PileupColumn], region: Region) -> None:
+    def __init__(
+        self,
+        columns: Iterable[PileupColumn],
+        region: Region,
+        *,
+        batch_columns: Optional[int] = DEFAULT_BATCH_COLUMNS,
+    ) -> None:
         self._columns = columns
         self._materialised: Optional[List[PileupColumn]] = None
         self._lock = threading.Lock()
         self.region = region
+        self.batch_columns = _validate_batch_columns(batch_columns)
 
     def regions(self) -> Sequence[Region]:
+        """The single region the pre-built columns cover."""
         return [self.region]
 
     def _materialise(self) -> List[PileupColumn]:
@@ -122,6 +150,7 @@ class ColumnsSource:
         tracer: Optional[Tracer] = None,
         worker: int = 0,
     ) -> List[PileupColumn]:
+        """The pre-built columns falling inside ``chunk``."""
         return [
             c
             for c in self._materialise()
@@ -134,12 +163,22 @@ class ColumnsSource:
         tracer: Optional[Tracer] = None,
         worker: int = 0,
     ) -> List[ColumnBatch]:
-        """The chunk's columns packed into one batch (compatibility
-        bridge: pre-built columns are per-column by construction)."""
+        """The chunk's columns packed into bounded batches.
+
+        A compatibility bridge (pre-built columns are per-column by
+        construction): consecutive runs of at most ``batch_columns``
+        columns are packed through
+        :meth:`~repro.pileup.column.ColumnBatch.from_columns`, so each
+        pack's flat copies stay bounded like the streaming sources'
+        work units.
+        """
+        cols = self.columns_for(chunk, tracer, worker)
+        cap = self.batch_columns or max(len(cols), 1)
+        if not cols:
+            return [ColumnBatch.from_columns([], chrom=chunk.chrom)]
         return [
-            ColumnBatch.from_columns(
-                self.columns_for(chunk, tracer, worker), chrom=chunk.chrom
-            )
+            ColumnBatch.from_columns(cols[lo : lo + cap], chrom=chunk.chrom)
+            for lo in range(0, len(cols), cap)
         ]
 
 
@@ -155,6 +194,10 @@ class ReadsSource:
         reference: reference sequence for ``region.chrom``.
         region: scope of the calling run.
         pileup_config: pileup filtering parameters.
+        batch_columns: cap on the columns per batch work unit emitted
+            by :meth:`batches_for` (the
+            :class:`~repro.pileup.vectorized.ColumnBatchBuilder` flush
+            granularity); ``None`` builds each chunk as one batch.
     """
 
     def __init__(
@@ -163,14 +206,18 @@ class ReadsSource:
         reference: str,
         region: Region,
         pileup_config: Optional[PileupConfig] = None,
+        *,
+        batch_columns: Optional[int] = DEFAULT_BATCH_COLUMNS,
     ) -> None:
         self._reads = reads
         self._consumed = False
         self.reference = reference
         self.region = region
         self.pileup_config = pileup_config or PileupConfig()
+        self.batch_columns = _validate_batch_columns(batch_columns)
 
     def regions(self) -> Sequence[Region]:
+        """The single region this read stream covers."""
         return [self.region]
 
     def _reads_for_pass(self) -> Iterable[AlignedRead]:
@@ -191,6 +238,7 @@ class ReadsSource:
         tracer: Optional[Tracer] = None,
         worker: int = 0,
     ) -> Iterable[PileupColumn]:
+        """The chunk's columns through the streaming pileup sweep."""
         return pileup(
             self._reads_for_pass(), self.reference, chunk, self.pileup_config
         )
@@ -201,30 +249,55 @@ class ReadsSource:
         tracer: Optional[Tracer] = None,
         worker: int = 0,
     ) -> Iterable[ColumnBatch]:
-        """The chunk through the batch-emitting streaming sweep
-        (:func:`repro.pileup.engine.pileup_batches`) -- columns are
-        never lifted to per-column objects on the way."""
+        """The chunk as a lazy stream of bounded batches.
+
+        Reads go through the incremental
+        :class:`~repro.pileup.vectorized.ColumnBatchBuilder` (via
+        :func:`repro.pileup.engine.pileup_batches`): columns are never
+        lifted to per-column objects on the way and construction
+        memory stays one flush window, not the chunk.
+        """
         return pileup_batches(
-            self._reads_for_pass(), self.reference, chunk, self.pileup_config
+            self._reads_for_pass(),
+            self.reference,
+            chunk,
+            self.pileup_config,
+            batch_columns=self.batch_columns,
         )
 
 
 class SampleSource:
     """An in-memory :class:`~repro.sim.reads.SimulatedSample` through
     the vectorised pileup (the benchmark fast path).  Workers share the
-    sample's matrices read-only, so every execution mode is safe."""
+    sample's matrices read-only, so every execution mode is safe.
+
+    Args:
+        sample: the simulated sample (its read matrices are consumed
+            directly; no per-read objects are built).
+        region: scope of the calling run (default: the whole genome).
+        pileup_config: pileup filtering parameters.
+        batch_columns: cap on the reference positions per batch work
+            unit emitted by :meth:`batches_for`: each sub-window is
+            built independently by the computed-permutation deposit,
+            so construction memory is one window, not the chunk.
+            ``None`` builds each chunk as a single batch.
+    """
 
     def __init__(
         self,
         sample,
         region: Optional[Region] = None,
         pileup_config: Optional[PileupConfig] = None,
+        *,
+        batch_columns: Optional[int] = DEFAULT_BATCH_COLUMNS,
     ) -> None:
         self.sample = sample
         self._region = region
         self.pileup_config = pileup_config or PileupConfig()
+        self.batch_columns = _validate_batch_columns(batch_columns)
 
     def regions(self) -> Sequence[Region]:
+        """The configured region, or the sample's whole genome."""
         if self._region is not None:
             return [self._region]
         return [
@@ -237,6 +310,7 @@ class SampleSource:
         tracer: Optional[Tracer] = None,
         worker: int = 0,
     ) -> List[PileupColumn]:
+        """The chunk's columns through the vectorised sample pileup."""
         from repro.pileup.vectorized import pileup_sample
 
         trc = tracer or Tracer()
@@ -250,16 +324,35 @@ class SampleSource:
         chunk: Region,
         tracer: Optional[Tracer] = None,
         worker: int = 0,
-    ) -> List[ColumnBatch]:
-        """The chunk built directly from the sample's matrices as one
-        structure-of-arrays batch -- no per-column slicing at all."""
+    ) -> Iterable[ColumnBatch]:
+        """The chunk as a lazy stream of bounded batches built
+        directly from the sample's matrices -- no per-column slicing
+        at all.
+
+        Each window of at most ``batch_columns`` reference positions
+        is deposited independently (the computed-permutation path
+        windows its reads by ``searchsorted``), so peak construction
+        memory is one window rather than the chunk; the concatenation
+        of the yielded batches is exactly the whole-chunk batch.
+        """
         from repro.pileup.vectorized import pileup_sample_batch
 
         trc = tracer or Tracer()
-        with trc.span(worker, Category.BAM_ITER):
-            return [
-                pileup_sample_batch(self.sample, chunk, self.pileup_config)
+        cap = self.batch_columns
+        if cap is None:
+            spans = [chunk]
+        else:
+            spans = [
+                Region(chunk.chrom, lo, min(lo + cap, chunk.end))
+                for lo in range(chunk.start, chunk.end, cap)
             ]
+        for span in spans:
+            with trc.span(worker, Category.BAM_ITER):
+                batch = pileup_sample_batch(
+                    self.sample, span, self.pileup_config
+                )
+            if batch.n_columns:
+                yield batch
 
 
 class BamSource:
@@ -301,8 +394,10 @@ class BamSource:
             positive.
     """
 
-    #: Default per-work-unit column cap (16 engine-sized slices).
-    DEFAULT_BATCH_COLUMNS = 16384
+    #: Default per-work-unit column cap (the module-wide
+    #: :data:`DEFAULT_BATCH_COLUMNS`; kept as a class attribute for
+    #: backward compatibility).
+    DEFAULT_BATCH_COLUMNS = DEFAULT_BATCH_COLUMNS
 
     def __init__(
         self,
@@ -315,12 +410,8 @@ class BamSource:
     ) -> None:
         from repro.io.bam import BamReader
 
-        if batch_columns is not None and batch_columns <= 0:
-            raise ValueError(
-                f"batch_columns must be positive, got {batch_columns}"
-            )
         self.path = os.fspath(path)
-        self.batch_columns = batch_columns
+        self.batch_columns = _validate_batch_columns(batch_columns)
         self.pileup_config = pileup_config or PileupConfig()
         with BamReader(self.path) as reader:
             self.contigs: List[Tuple[str, int]] = list(
@@ -362,6 +453,7 @@ class BamSource:
         return out
 
     def regions(self) -> Sequence[Region]:
+        """The configured regions (default: one per header contig)."""
         return list(self._regions)
 
     def _reference_for(self, chrom: str) -> str:
@@ -436,6 +528,7 @@ class BamSource:
             reader.seek(offset)
 
         def reads():
+            """This chunk's records, in file order."""
             while True:
                 rec = reader.read_record()
                 if rec is None:
@@ -464,6 +557,8 @@ class BamSource:
         tracer: Optional[Tracer] = None,
         worker: int = 0,
     ) -> List[PileupColumn]:
+        """The chunk's columns through the streaming pileup sweep
+        over a seek-positioned per-worker reader."""
         columns = self._scan(
             chunk,
             tracer,
@@ -479,40 +574,95 @@ class BamSource:
         )
         return [] if columns is None else columns
 
+    def _stream_batches(self, reader, chunk: Region, offset):
+        """The untimed inner generator behind :meth:`batches_for`:
+        seek, then stream records through a
+        :class:`~repro.pileup.vectorized.ColumnBatchBuilder`, yielding
+        each completed window's batches as soon as the scan passes
+        them."""
+        from repro.pileup.vectorized import ColumnBatchBuilder
+
+        chunk_rank = self._rank.get(chunk.chrom)
+        if chunk_rank is None:
+            raise ValueError(
+                f"contig {chunk.chrom!r} is not in the BAM header"
+            )
+        if offset is None:
+            reader.rewind()
+        else:
+            reader.seek(offset)
+        builder = ColumnBatchBuilder(
+            self._reference_for(chunk.chrom),
+            chunk,
+            self.pileup_config,
+            batch_columns=self.batch_columns,
+        )
+        while True:
+            rec = reader.read_record()
+            if rec is None:
+                break
+            if rec.rname != chunk.chrom:
+                # Sorted BAM: a later contig means we are done; an
+                # earlier one (only possible after a rewind) is
+                # skipped until our contig's block starts.
+                if self._rank.get(rec.rname, len(self._rank)) > chunk_rank:
+                    break
+                continue
+            if rec.pos >= chunk.end:
+                break
+            yield from builder.add_read(rec)
+        yield from builder.finish()
+
     def batches_for(
         self,
         chunk: Region,
         tracer: Optional[Tracer] = None,
         worker: int = 0,
-    ) -> List[ColumnBatch]:
-        """The chunk through the columnar deposit path: each record's
-        aligned bases are decoded straight into flat arrays
-        (:func:`repro.io.bam.aligned_base_arrays`) and assembled into
-        one structure-of-arrays batch -- no per-base tuples and no
-        per-column objects on the way to the screen.  Chunks wider
-        than ``batch_columns`` are re-sliced into zero-copy sub-batch
-        work units here at the source (strand/mapq laziness
-        preserved), so a huge unchunked region never hands the engine
-        one unbounded unit."""
-        from repro.pileup.vectorized import pileup_batch_from_reads
+    ) -> Iterable[ColumnBatch]:
+        """The chunk as a lazy stream of bounded batch work units.
 
-        batch = self._scan(
-            chunk,
-            tracer,
-            worker,
-            lambda reads: pileup_batch_from_reads(
-                reads,
-                self._reference_for(chunk.chrom),
-                chunk,
-                self.pileup_config,
-            ),
-        )
-        if batch is None:
-            return []
-        cap = self.batch_columns
-        if cap is None or batch.n_columns <= cap:
-            return [batch]
-        return [
-            batch.slice_columns(lo, min(lo + cap, batch.n_columns))
-            for lo in range(0, batch.n_columns, cap)
-        ]
+        The columnar deposit path, now incremental: each record's
+        aligned bases are decoded straight into flat arrays
+        (:func:`repro.io.bam.aligned_base_arrays`) and deposited into
+        a :class:`~repro.pileup.vectorized.ColumnBatchBuilder`, which
+        flushes a :class:`~repro.pileup.column.ColumnBatch` of at most
+        ``batch_columns`` columns as soon as the scan passes its last
+        column -- no per-base tuples, no per-column objects, and **no
+        whole-chunk flat arrays**: peak construction memory is one
+        flush window regardless of how large (or unchunked) the
+        region is.  Flushed windows wider than ``batch_columns``
+        (sparse coverage) are sliced into zero-copy sub-batches with
+        strand/mapq laziness preserved.
+
+        Each pull's time is attributed like the eager scan used to be:
+        BGZF inflation to ``DECOMPRESS``, the rest of the
+        decode+deposit work to ``BAM_ITER``, now interleaved per batch
+        instead of one block per chunk.
+
+        The stream reads through this worker's thread-local reader, so
+        at most **one** stream per thread may be live at a time:
+        exhaust (or abandon) a chunk's stream before starting the next
+        chunk's on the same thread, as the pipeline's worker loop
+        does.  Concurrent streams are fine across threads/processes
+        (each has its own reader).
+        """
+        trc = tracer or Tracer()
+        offset = self._seek_offset(chunk)
+        if offset is self._NO_READS:
+            return
+        reader = self._reader()
+        inner = self._stream_batches(reader, chunk, offset)
+        while True:
+            t_dec0 = reader._bgzf.time_decompress
+            t0 = time.perf_counter()
+            try:
+                batch = next(inner)
+            except StopIteration:
+                batch = None
+            t1 = time.perf_counter()
+            dec = reader._bgzf.time_decompress - t_dec0
+            trc.record(worker, Category.DECOMPRESS, t0, t0 + dec)
+            trc.record(worker, Category.BAM_ITER, t0 + dec, t1)
+            if batch is None:
+                return
+            yield batch

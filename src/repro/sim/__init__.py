@@ -22,12 +22,13 @@ generates synthetic equivalents that exercise the same code paths:
 
 from repro.sim.genome import random_genome, sars_cov_2_like
 from repro.sim.haplotypes import VariantSpec, VariantPanel, random_panel
-from repro.sim.quality import QualityModel
+from repro.sim.quality import MapqProfile, QualityModel
 from repro.sim.reads import ReadSimulator, SimulatedSample
 from repro.sim.datasets import DatasetSpec, SimulatedDataset, paper_dataset_suite
 
 __all__ = [
     "DatasetSpec",
+    "MapqProfile",
     "QualityModel",
     "ReadSimulator",
     "SimulatedDataset",

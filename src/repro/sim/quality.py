@@ -15,10 +15,14 @@ import dataclasses
 
 import numpy as np
 
-__all__ = ["QualityModel"]
+__all__ = ["MapqProfile", "QualityModel"]
 
 _MIN_PHRED = 2
 _MAX_PHRED = 41
+
+#: SAM reserves mapping quality 255 for "unavailable", so sampled
+#: values are clamped to 0..254.
+_MAX_MAPQ = 254
 
 
 @dataclasses.dataclass(frozen=True)
@@ -94,3 +98,82 @@ class QualityModel:
         return float(
             np.mean(np.power(10.0, -self.mean_curve(read_length) / 10.0))
         )
+
+
+@dataclasses.dataclass(frozen=True)
+class MapqProfile:
+    """A per-read *mapping*-quality profile.
+
+    Real aligners emit a mixture: most reads map uniquely at the
+    aligner's ceiling (BWA: 60), a tail maps ambiguously at much lower
+    quality.  Sampling per-read mapq from such a mixture is what lets
+    ``--min-mapq`` (read dropping) and ``--merge-mapq`` (folding the
+    mapping error into the call model) be exercised end to end on
+    simulated data instead of no-oping against a constant.
+
+    Attributes:
+        mapq: mapping quality of the well-mapped component.
+        low_mapq: mean mapping quality of the ambiguous component.
+        low_fraction: fraction of reads drawn from the ambiguous
+            component.
+        jitter: standard deviation of Gaussian noise added to the
+            ambiguous component (the well-mapped ceiling is exact, as
+            aligners emit it).
+        name: profile label (written to dataset metadata).
+    """
+
+    mapq: int = 60
+    low_mapq: int = 20
+    low_fraction: float = 0.0
+    jitter: float = 0.0
+    name: str = "constant"
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.mapq <= _MAX_MAPQ:
+            raise ValueError(f"mapq must be in 0..{_MAX_MAPQ}, got {self.mapq}")
+        if not 0 <= self.low_mapq <= _MAX_MAPQ:
+            raise ValueError(
+                f"low_mapq must be in 0..{_MAX_MAPQ}, got {self.low_mapq}"
+            )
+        if not 0.0 <= self.low_fraction <= 1.0:
+            raise ValueError(
+                f"low_fraction must be in [0, 1], got {self.low_fraction}"
+            )
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+
+    # -- canned profiles ---------------------------------------------------
+
+    @classmethod
+    def constant(cls, mapq: int = 60) -> "MapqProfile":
+        """Every read at one mapping quality (the historical default)."""
+        return cls(mapq=mapq, low_fraction=0.0, name="constant")
+
+    @classmethod
+    def aligner_like(cls) -> "MapqProfile":
+        """A BWA-shaped mixture: ~92% unique mappers at 60, an ~8%
+        ambiguous tail around 20 with spread -- enough low-mapq reads
+        that ``--min-mapq 30`` visibly changes depths."""
+        return cls(
+            mapq=60,
+            low_mapq=20,
+            low_fraction=0.08,
+            jitter=6.0,
+            name="aligner_like",
+        )
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample(self, n_reads: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n_reads`` per-read mapping qualities (uint8 array,
+        clamped to 0..254 -- SAM reserves 255 for "unavailable")."""
+        out = np.full(n_reads, self.mapq, dtype=np.float64)
+        if self.low_fraction > 0.0:
+            low = rng.random(n_reads) < self.low_fraction
+            n_low = int(low.sum())
+            if n_low:
+                draws = float(self.low_mapq) + rng.normal(
+                    0.0, self.jitter, size=n_low
+                )
+                out[low] = draws
+        return np.clip(np.rint(out), 0, _MAX_MAPQ).astype(np.uint8)

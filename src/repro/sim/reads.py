@@ -35,7 +35,7 @@ from repro.io.fasta import FastaRecord
 from repro.io.records import FLAG_REVERSE, AlignedRead, SamHeader
 from repro.pileup.column import BASES
 from repro.sim.haplotypes import ArtifactSpec, VariantPanel
-from repro.sim.quality import QualityModel
+from repro.sim.quality import MapqProfile, QualityModel
 
 __all__ = ["ReadSimulator", "SimulatedSample"]
 
@@ -68,7 +68,12 @@ class SimulatedSample:
         quals: uint8 ``(n, read_length)`` Phred matrix.
         reverse: bool ``(n,)`` strand vector.
         seed: RNG seed that produced the sample.
-        mapq: mapping quality stamped on every read.
+        mapq: mapping quality stamped on every read when no per-read
+            vector was sampled.
+        mapqs: optional uint8 ``(n,)`` per-read mapping qualities
+            (present when the simulator was given a
+            :class:`~repro.sim.quality.MapqProfile`); overrides
+            ``mapq`` everywhere when set.
     """
 
     genome: FastaRecord
@@ -79,6 +84,7 @@ class SimulatedSample:
     reverse: np.ndarray
     seed: int
     mapq: int = 60
+    mapqs: Optional[np.ndarray] = None
 
     @property
     def n_reads(self) -> int:
@@ -112,7 +118,9 @@ class SimulatedSample:
                 flag=FLAG_REVERSE if self.reverse[i] else 0,
                 rname=rname,
                 pos=int(self.starts[i]),
-                mapq=self.mapq,
+                mapq=(
+                    int(self.mapqs[i]) if self.mapqs is not None else self.mapq
+                ),
                 cigar=[(CigarOp.M, rl)],
                 seq=decode_row(self.codes[i]),
                 qual=self.quals[i],
@@ -141,6 +149,13 @@ class ReadSimulator:
             null datasets, used by the false-positive tests).
         quality_model: per-cycle quality profile.
         read_length: read length in bases; must not exceed the genome.
+        mapq_profile: per-read mapping-quality profile
+            (:class:`~repro.sim.quality.MapqProfile`).  ``None`` keeps
+            the historical constant-60 stamp (and, deliberately, draws
+            nothing from the RNG, so existing seeds reproduce
+            byte-identical samples); a profile samples a per-read
+            ``mapqs`` vector so ``--min-mapq`` / ``--merge-mapq`` are
+            exercised end to end on simulated data.
 
     Raises:
         ValueError: on inconsistent arguments (panel refs not matching
@@ -155,6 +170,7 @@ class ReadSimulator:
         quality_model: Optional[QualityModel] = None,
         read_length: int = 100,
         artifacts: Optional[List[ArtifactSpec]] = None,
+        mapq_profile: Optional[MapqProfile] = None,
     ) -> None:
         if read_length <= 0:
             raise ValueError(f"read_length must be positive, got {read_length}")
@@ -167,6 +183,7 @@ class ReadSimulator:
         self.panel.validate_against(genome.sequence)
         self.quality_model = quality_model or QualityModel.hiseq()
         self.read_length = read_length
+        self.mapq_profile = mapq_profile
         self.artifacts = list(artifacts or [])
         for art in self.artifacts:
             if art.pos >= len(genome):
@@ -240,6 +257,15 @@ class ReadSimulator:
             flip = rng.random(rows.size) < art.rate
             codes[rows[flip], cols[flip]] = BASES.index(art.alt)
 
+        # Per-read mapping qualities come last so that a profile-less
+        # run consumes exactly the pre-existing RNG stream (historical
+        # seeds keep reproducing byte-identical samples).
+        mapqs = (
+            self.mapq_profile.sample(n, rng)
+            if self.mapq_profile is not None
+            else None
+        )
+
         return SimulatedSample(
             genome=self.genome,
             panel=self.panel,
@@ -248,4 +274,5 @@ class ReadSimulator:
             quals=quals,
             reverse=reverse,
             seed=seed,
+            mapqs=mapqs,
         )

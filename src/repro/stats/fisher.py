@@ -6,16 +6,36 @@ two-tailed Fisher exact test on the 2x2 table of (ref, alt) x
 typically artefacts.  The hypergeometric machinery is implemented
 directly in log space and validated against ``scipy.stats.fisher_exact``
 in the tests.
+
+Two call shapes share one kernel: :func:`fisher_exact_batch` /
+:func:`strand_bias_phred_batch` evaluate many tables in vectorised
+passes (the batched caller engine's per-emitted-call loop removal),
+and the scalar :func:`strand_bias_phred` is a batch of one.  The
+batch kernel is *composition-invariant*: every table's value is
+computed with per-table operation order (elementwise log-pmf
+arithmetic, sequential ``cumsum`` tail accumulation), so a table's
+score is bit-identical whether it is evaluated alone or alongside a
+thousand others -- which is what keeps the streaming and batched
+engines byte-identical on emitted calls.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from typing import Tuple
+
+import numpy as np
 
 from repro.stats.special import log_gamma
 
-__all__ = ["fisher_exact", "strand_bias_phred", "hypergeom_log_pmf"]
+__all__ = [
+    "fisher_exact",
+    "fisher_exact_batch",
+    "strand_bias_phred",
+    "strand_bias_phred_batch",
+    "hypergeom_log_pmf",
+]
 
 
 def _log_choose(n: int, k: int) -> float:
@@ -84,12 +104,193 @@ def _log_sum(logs) -> float:
     return hi + math.log(sum(math.exp(x - hi) for x in logs))
 
 
+# -- batched tables ------------------------------------------------------------
+
+#: Cache of ``log(i!)`` (= ``log_gamma(i + 1)``) for 0 <= i <= size-1,
+#: grown on demand under a lock.  Built with the *scalar*
+#: :func:`~repro.stats.special.log_gamma`, so batch log-choose values
+#: are the scalar path's bit-for-bit.
+_LOG_FACT: np.ndarray = np.zeros(0, dtype=np.float64)
+_LOG_FACT_LOCK = threading.Lock()
+
+
+def _log_factorials(n_max: int) -> np.ndarray:
+    """``log(i!)`` for every ``0 <= i <= n_max``, as a read-only
+    shared table (one scalar ``log_gamma`` call per new entry,
+    amortised over the run)."""
+    global _LOG_FACT
+    table = _LOG_FACT
+    if table.size > n_max:
+        return table
+    with _LOG_FACT_LOCK:
+        table = _LOG_FACT
+        if table.size <= n_max:
+            size = max(n_max + 1, 2 * table.size, 256)
+            grown = np.empty(size, dtype=np.float64)
+            grown[: table.size] = table
+            for i in range(table.size, size):
+                grown[i] = log_gamma(i + 1.0)
+            grown.setflags(write=False)
+            _LOG_FACT = table = grown
+    return table
+
+
+#: Ceiling on one padded (tables x support-width) plane evaluated at
+#: a time by :func:`fisher_exact_batch`: 2^23 float64 cells = 64 MiB
+#: (the exact DP stage's ``PLANE_ELEMENTS`` discipline), so a
+#: variant-dense set of balanced ultra-deep tables is processed in
+#: bounded slices instead of one unbounded plane.  Composition
+#: invariance makes the slicing invisible in the outputs.
+FISHER_PLANE_ELEMENTS = 1 << 23
+
+
+def fisher_exact_batch(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray, d: np.ndarray
+) -> np.ndarray:
+    """Two-tailed Fisher exact p-values for many 2x2 tables at once.
+
+    ``a, b, c, d`` are parallel non-negative integer arrays holding
+    the tables ``((a, b), (c, d))``.  The whole hypergeometric support
+    of every table is laid out as a padded ``(tables, k)`` plane
+    (sliced under :data:`FISHER_PLANE_ELEMENTS` cells, so memory is
+    bounded regardless of table depth): log-pmfs come from a shared
+    ``log(i!)`` lookup (built with the scalar
+    :func:`~repro.stats.special.log_gamma`), the two-sided selection
+    replays the scalar :func:`fisher_exact` cutoff elementwise, and
+    each table's tail is accumulated with a sequential per-row
+    ``cumsum`` -- so a table's p-value never depends on what else is
+    in the batch (composition-invariant, regression-tested), and
+    agrees with :func:`fisher_exact` to floating-point roundoff.
+
+    Example::
+
+        >>> p = fisher_exact_batch(np.array([100]), np.array([100]),
+        ...                        np.array([10]), np.array([0]))
+        >>> bool(p[0] < 0.01)
+        True
+
+    Returns:
+        The p-values in [0, 1], one per table.
+
+    Raises:
+        ValueError: on negative counts.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    c = np.asarray(c, dtype=np.int64)
+    d = np.asarray(d, dtype=np.int64)
+    if a.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    if min(int(a.min()), int(b.min()), int(c.min()), int(d.min())) < 0:
+        raise ValueError("contingency table counts must be non-negative")
+    widths = np.minimum(a + b, a + c) - np.maximum(
+        0, (a + c) - (c + d)
+    ) + 1
+    out = np.empty(a.size, dtype=np.float64)
+    lo_i = 0
+    while lo_i < a.size:
+        # Grow the slice while its padded plane stays under budget
+        # (always at least one table, however deep).
+        w_max = int(widths[lo_i])
+        hi_i = lo_i + 1
+        while hi_i < a.size:
+            w_next = max(w_max, int(widths[hi_i]))
+            if (hi_i + 1 - lo_i) * w_next > FISHER_PLANE_ELEMENTS:
+                break
+            w_max = w_next
+            hi_i += 1
+        sl = slice(lo_i, hi_i)
+        out[sl] = _fisher_exact_plane(a[sl], b[sl], c[sl], d[sl])
+        lo_i = hi_i
+    return out
+
+
+def _fisher_exact_plane(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray, d: np.ndarray
+) -> np.ndarray:
+    """One bounded slice of :func:`fisher_exact_batch`: every table's
+    full hypergeometric support as one padded plane."""
+    M = a + b + c + d
+    n = a + b  # row-1 total = number of "successes" in the urn
+    N = a + c  # column-1 total = draw size
+    lo = np.maximum(0, N - (M - n))
+    hi = np.minimum(n, N)
+    width = int((hi - lo).max()) + 1
+    k = lo[:, None] + np.arange(width, dtype=np.int64)[None, :]
+    valid = k <= hi[:, None]
+    kc = np.where(valid, k, 0)  # safe gather index inside the pad
+    lf = _log_factorials(int(M.max()))
+    # hypergeom_log_pmf replayed elementwise with the scalar's exact
+    # operation order: _log_choose(n, k) + _log_choose(M-n, N-k)
+    # - _log_choose(M, N), each log-choose (lf[n] - lf[k]) - lf[n-k].
+    n2 = n[:, None]
+    mn2 = (M - n)[:, None]
+    nk2 = N[:, None] - kc
+    lc1 = (lf[n2] - lf[kc]) - lf[n2 - kc]
+    lc2 = (lf[mn2] - lf[nk2]) - lf[mn2 - nk2]
+    lc3 = (lf[M] - lf[N]) - lf[M - N]
+    logs = (lc1 + lc2) - lc3[:, None]
+    logs = np.where(valid, logs, -np.inf)
+    rows = np.arange(a.size)
+    observed = logs[rows, a - lo]
+    # Two-sided: sum all tables at most as probable as the observed
+    # one (with the scalar's small relative tolerance, as scipy does).
+    sel = valid & (logs <= (observed + 1e-7)[:, None])
+    hi_log = np.max(np.where(sel, logs, -np.inf), axis=1)
+    with np.errstate(invalid="ignore"):
+        terms = np.where(sel, np.exp(logs - hi_log[:, None]), 0.0)
+    # Sequential left-to-right accumulation per row: zeros are exact
+    # no-ops under IEEE addition, so padding and the selection mask
+    # never perturb a table's partial sums.
+    acc = hi_log + np.log(terms.cumsum(axis=1)[:, -1])
+    p = np.minimum(1.0, np.exp(acc))
+    return np.where(M == 0, 1.0, p)
+
+
+def strand_bias_phred_batch(
+    ref_fwd: np.ndarray,
+    ref_rev: np.ndarray,
+    alt_fwd: np.ndarray,
+    alt_rev: np.ndarray,
+    cap: float = 2000.0,
+) -> np.ndarray:
+    """LoFreq's ``SB`` INFO value for many DP4 tables at once:
+    ``-10 log10`` of the two-tailed Fisher p-value per table, capped
+    for p = 0 round-off.
+
+    The array twin of :func:`strand_bias_phred` (which is a batch of
+    one through this kernel); the batched caller engine scores every
+    emitted call of a batch in one invocation.
+
+    Example::
+
+        >>> sb = strand_bias_phred_batch(
+        ...     np.array([500, 500]), np.array([500, 500]),
+        ...     np.array([10, 20]), np.array([10, 0]))
+        >>> bool(sb[0] < 1.0 < sb[1])
+        True
+    """
+    p = fisher_exact_batch(ref_fwd, ref_rev, alt_fwd, alt_rev)
+    with np.errstate(divide="ignore"):
+        sb = -10.0 * np.log10(p)
+    return np.where(p <= 0.0, cap, np.minimum(cap, sb))
+
+
 def strand_bias_phred(
     ref_fwd: int, ref_rev: int, alt_fwd: int, alt_rev: int, cap: float = 2000.0
 ) -> float:
     """LoFreq's ``SB`` INFO value: ``-10 log10`` of the two-tailed
-    Fisher p-value on the DP4 table, capped for p = 0 round-off."""
-    p = fisher_exact(((ref_fwd, ref_rev), (alt_fwd, alt_rev)))
-    if p <= 0.0:
-        return cap
-    return min(cap, -10.0 * math.log10(p))
+    Fisher p-value on the DP4 table, capped for p = 0 round-off.
+
+    A batch of one through :func:`strand_bias_phred_batch`, so the
+    streaming engine's per-call score is bit-identical to the batched
+    engine's vectorised scoring of the same table.
+    """
+    sb = strand_bias_phred_batch(
+        np.array([ref_fwd]),
+        np.array([ref_rev]),
+        np.array([alt_fwd]),
+        np.array([alt_rev]),
+        cap=cap,
+    )
+    return float(sb[0])

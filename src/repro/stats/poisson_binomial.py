@@ -239,6 +239,19 @@ def poibin_sf_dp_batch(
     fraction halves, so a batch of mostly-prunable lanes does not pay
     for its slowest member.
 
+    Example -- two ragged lanes, one shared zero-padded plane::
+
+        >>> import numpy as np
+        >>> plane = np.zeros((2, 4))
+        >>> plane[0, :4] = 0.01   # lane 0: 4 reads at p = 0.01
+        >>> plane[1, :2] = 0.20   # lane 1: 2 reads at p = 0.20
+        >>> res = poibin_sf_dp_batch(
+        ...     np.array([2, 1]), plane, np.array([4, 2]))
+        >>> bool(res.complete.all())
+        True
+        >>> np.allclose(res.pvalues[1], 1 - 0.8 * 0.8)
+        True
+
     Args:
         ks: int array of tail points, one per lane.
         probs: 2-D float64 plane, one row of per-read error

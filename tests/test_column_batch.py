@@ -180,6 +180,183 @@ class TestFourPathEquivalence:
         assert_batches_identical(whole, merged)
 
 
+class TestColumnBatchBuilder:
+    """The incremental bounded-memory builder (PR 5): streamed batches
+    must re-concatenate to the whole-chunk build bit-for-bit, across
+    flush boundaries, filters and the depth cap."""
+
+    def _merged(self, pieces, chrom):
+        return ColumnBatch.from_columns(
+            [c for p in pieces for c in p.columns()], chrom=chrom
+        )
+
+    @pytest.mark.parametrize("seed", [101, 404])
+    @pytest.mark.parametrize("batch_columns", [1, 7, 64, 4096])
+    def test_streamed_equals_whole_chunk(self, seed, batch_columns):
+        from repro.pileup.vectorized import iter_pileup_batches
+
+        genome, sample, config, region = _workload(seed)
+        reads = sample.read_list()
+        whole = pileup_batch_from_reads(
+            iter(reads), genome.sequence, region, config
+        )
+        pieces = list(
+            iter_pileup_batches(
+                iter(reads), genome.sequence, region, config,
+                batch_columns=batch_columns,
+            )
+        )
+        assert all(p.n_columns <= batch_columns for p in pieces)
+        assert all(p.n_columns > 0 for p in pieces)
+        assert_batches_identical(
+            whole, self._merged(pieces, region.chrom)
+        )
+
+    def test_reads_span_flush_boundaries(self):
+        """With a flush window far smaller than the read length every
+        read straddles several boundaries; each window must still get
+        exactly its bases, in streaming deposit order."""
+        from repro.pileup.vectorized import iter_pileup_batches
+
+        genome, sample, config, region = _workload(202)
+        reads = sample.read_list()
+        rl = sample.read_length
+        batch_columns = max(2, rl // 8)  # windows much narrower than a read
+        whole = pileup_batch_from_reads(
+            iter(reads), genome.sequence, region, config
+        )
+        pieces = list(
+            iter_pileup_batches(
+                iter(reads), genome.sequence, region, config,
+                batch_columns=batch_columns,
+            )
+        )
+        assert len(pieces) > 3
+        assert_batches_identical(whole, self._merged(pieces, region.chrom))
+        # And the per-column views match the streaming engine exactly.
+        stream_cols = list(
+            pileup(iter(reads), genome.sequence, region, config)
+        )
+        flat_cols = [c for p in pieces for c in p.columns()]
+        assert len(flat_cols) == len(stream_cols)
+        for a, b in zip(flat_cols, stream_cols):
+            assert_columns_identical(a, b)
+
+    def test_flushed_batches_keep_planes_lazy(self):
+        from repro.pileup.vectorized import iter_pileup_batches
+
+        genome, sample, config, region = _workload(303)
+        pieces = list(
+            iter_pileup_batches(
+                iter(sample.read_list()), genome.sequence, region, config,
+                batch_columns=16,
+            )
+        )
+        assert pieces
+        assert all(not p.planes_materialised for p in pieces)
+
+    def test_empty_input_yields_no_batches(self):
+        from repro.pileup.vectorized import ColumnBatchBuilder, iter_pileup_batches
+
+        region = Region("chrE", 0, 500)
+        assert (
+            list(iter_pileup_batches(iter([]), "A" * 500, region)) == []
+        )
+        builder = ColumnBatchBuilder("A" * 500, region, batch_columns=8)
+        assert builder.finish() == []
+        with pytest.raises(ValueError, match="finished"):
+            builder.add_read(
+                AlignedRead(
+                    qname="r", flag=0, rname="chrE", pos=0, mapq=60,
+                    cigar=[(CigarOp.M, 4)], seq="ACGT",
+                    qual=np.full(4, 30, dtype=np.uint8),
+                )
+            )
+
+    def test_all_filtered_input_yields_no_batches(self):
+        """Bases all below min_baseq: windows assemble to nothing and
+        no empty batches leak out."""
+        from repro.pileup.vectorized import iter_pileup_batches
+
+        genome, sample, _, region = _workload(505)
+        config = PileupConfig(min_baseq=60)  # above every emitted qual
+        pieces = list(
+            iter_pileup_batches(
+                iter(sample.read_list()), genome.sequence, region, config,
+                batch_columns=8,
+            )
+        )
+        assert pieces == []
+
+    def test_max_depth_caps_at_flush_boundaries(self):
+        """A tight cap must drop the same reads whether a column sits
+        mid-window or exactly at a flush boundary."""
+        from repro.pileup.vectorized import iter_pileup_batches
+
+        genome, sample, _, _ = _workload(42)
+        region = Region(genome.name, 0, len(genome))
+        config = PileupConfig(max_depth=15)
+        reads = sample.read_list()
+        whole = pileup_batch_from_reads(
+            iter(reads), genome.sequence, region, config
+        )
+        assert int(whole.n_capped.sum()) > 0, "cap never engaged"
+        for batch_columns in (1, 3, 50):
+            pieces = list(
+                iter_pileup_batches(
+                    iter(reads), genome.sequence, region, config,
+                    batch_columns=batch_columns,
+                )
+            )
+            merged = self._merged(pieces, region.chrom)
+            assert_batches_identical(whole, merged)
+            assert (merged.depths <= 15).all()
+
+    def test_unsorted_input_raises(self):
+        from repro.pileup.vectorized import ColumnBatchBuilder
+
+        def read_at(pos, name):
+            return AlignedRead(
+                qname=name, flag=0, rname="chrU", pos=pos, mapq=60,
+                cigar=[(CigarOp.M, 4)], seq="ACGT",
+                qual=np.full(4, 30, dtype=np.uint8),
+            )
+
+        builder = ColumnBatchBuilder("A" * 100, Region("chrU", 0, 100))
+        builder.add_read(read_at(50, "a"))
+        with pytest.raises(ValueError, match="coordinate-sorted"):
+            builder.add_read(read_at(10, "b"))
+        # The pre-decoded deposit path enforces the same contract.
+        builder2 = ColumnBatchBuilder("A" * 100, Region("chrU", 0, 100))
+        pos = np.arange(50, 54, dtype=np.int64)
+        codes = np.zeros(4, dtype=np.uint8)
+        quals = np.full(4, 30, dtype=np.uint8)
+        builder2.add(pos, codes, quals, False, 60)
+        with pytest.raises(ValueError, match="coordinate-sorted"):
+            builder2.add(pos - 20, codes, quals, False, 60)
+
+    def test_invalid_batch_columns_rejected(self):
+        from repro.pileup.vectorized import ColumnBatchBuilder
+
+        with pytest.raises(ValueError, match="batch_columns"):
+            ColumnBatchBuilder(
+                "A" * 10, Region("c", 0, 10), batch_columns=0
+            )
+
+    def test_done_flag_stops_the_scan(self):
+        from repro.pileup.vectorized import ColumnBatchBuilder
+
+        region = Region("chrD", 10, 20)
+        builder = ColumnBatchBuilder("A" * 100, region)
+        read = AlignedRead(
+            qname="late", flag=0, rname="chrD", pos=25, mapq=60,
+            cigar=[(CigarOp.M, 4)], seq="ACGT",
+            qual=np.full(4, 30, dtype=np.uint8),
+        )
+        assert builder.add_read(read) == []
+        assert builder.done
+
+
 class TestColumnBatchValueType:
     def test_from_columns_round_trip(self, columns):
         batch = ColumnBatch.from_columns(columns)

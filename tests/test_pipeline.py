@@ -481,27 +481,44 @@ class TestExecutionPolicy:
 
 
 class TestBamSourceBatchColumns:
-    """Source-side batch re-slicing (PR 4): huge unchunked regions are
-    handed to the engine as bounded work units."""
+    """Source-side streaming construction (PR 5): chunks are built
+    incrementally by ``ColumnBatchBuilder`` and handed to the engine
+    as a lazy stream of bounded work units."""
 
     def test_default_single_unit_below_cap(self, bam_workspace, genome):
         _, bam = bam_workspace
         source = BamSource(bam, genome.sequence)
         region = source.regions()[0]
-        batches = source.batches_for(region)
+        batches = list(source.batches_for(region))
         assert len(batches) == 1  # 1200 columns < default 16384 cap
 
-    def test_cap_reslices_into_bounded_units(self, bam_workspace, genome):
+    def test_batches_stream_lazily(self, bam_workspace, genome):
+        """batches_for is a generator: pulling the first batch must not
+        build the rest of the chunk."""
         _, bam = bam_workspace
         source = BamSource(bam, genome.sequence, batch_columns=100)
         region = source.regions()[0]
-        batches = source.batches_for(region)
+        stream = source.batches_for(region)
+        assert not isinstance(stream, (list, tuple))
+        first = next(iter(stream))
+        assert first.n_columns <= 100
+
+    def test_cap_streams_bounded_units(self, bam_workspace, genome):
+        _, bam = bam_workspace
+        source = BamSource(bam, genome.sequence, batch_columns=100)
+        region = source.regions()[0]
+        batches = list(source.batches_for(region))
         assert len(batches) > 1
         assert all(b.n_columns <= 100 for b in batches)
-        # Together the slices are exactly the unsliced batch.
-        whole = BamSource(
-            bam, genome.sequence, batch_columns=None
-        ).batches_for(region)[0]
+        # Together the streamed batches are exactly the whole-chunk
+        # batch, column for column.
+        whole = next(
+            iter(
+                BamSource(
+                    bam, genome.sequence, batch_columns=None
+                ).batches_for(region)
+            )
+        )
         import numpy as np
 
         assert sum(b.n_columns for b in batches) == whole.n_columns
@@ -511,12 +528,12 @@ class TestBamSourceBatchColumns:
         assert np.array_equal(
             np.concatenate([b.quals for b in batches]), whole.quals
         )
-        # Zero-copy views of one parent decode, strand planes lazy.
-        assert all(not b.planes_materialised for b in batches)
-        assert (
-            batches[0].base_codes.base is not None
-            and batches[0].base_codes.base is batches[1].base_codes.base
+        assert np.array_equal(
+            np.concatenate([b.base_codes for b in batches]),
+            whole.base_codes,
         )
+        # Strand/mapq planes stay lazy on every streamed unit.
+        assert all(not b.planes_materialised for b in batches)
 
     def test_resliced_pipeline_byte_identical(self, bam_workspace, genome):
         _, bam = bam_workspace

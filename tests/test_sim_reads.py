@@ -9,7 +9,7 @@ from repro.io.regions import Region
 from repro.pileup.vectorized import pileup_sample
 from repro.sim.genome import random_genome
 from repro.sim.haplotypes import VariantPanel, VariantSpec
-from repro.sim.quality import QualityModel
+from repro.sim.quality import MapqProfile, QualityModel
 from repro.sim.reads import ReadSimulator, decode_row, encode_sequence
 
 
@@ -187,3 +187,93 @@ class TestQualityModel:
         rev = sample.quals[sample.reverse]
         assert fwd[:, 0].mean() > fwd[:, -1].mean()
         assert rev[:, 0].mean() < rev[:, -1].mean()
+
+
+class TestMapqProfile:
+    """Per-read mapping qualities sampled from a profile (PR 5): the
+    ROADMAP deferral that lets --min-mapq / --merge-mapq engage end to
+    end on simulated data."""
+
+    def test_constant_profile_and_default_agree(self):
+        genome = random_genome(300, seed=40)
+        base = ReadSimulator(genome, read_length=50).simulate(
+            depth=40, seed=41
+        )
+        assert base.mapqs is None
+        # No profile means no extra RNG draws: historical seeds keep
+        # reproducing byte-identical samples.
+        again = ReadSimulator(genome, read_length=50).simulate(
+            depth=40, seed=41
+        )
+        assert np.array_equal(base.codes, again.codes)
+        assert np.array_equal(base.quals, again.quals)
+        const = ReadSimulator(
+            genome, read_length=50, mapq_profile=MapqProfile.constant(60)
+        ).simulate(depth=40, seed=41)
+        assert const.mapqs is not None
+        assert np.all(const.mapqs == 60)
+        # The base-call matrices are untouched by the extra mapq draw.
+        assert np.array_equal(base.codes, const.codes)
+        assert np.array_equal(base.quals, const.quals)
+
+    def test_mixture_shape_and_determinism(self):
+        profile = MapqProfile.aligner_like()
+        rng = np.random.default_rng(5)
+        m = profile.sample(20_000, rng)
+        assert m.dtype == np.uint8
+        assert m.max() <= 254
+        low_frac = float((m < 40).mean())
+        assert 0.04 < low_frac < 0.12
+        rng2 = np.random.default_rng(5)
+        assert np.array_equal(m, profile.sample(20_000, rng2))
+
+    def test_reads_and_bam_carry_per_read_mapq(self, tmp_path):
+        from repro.io.bam import read_bam
+
+        genome = random_genome(300, seed=42)
+        sample = ReadSimulator(
+            genome, read_length=50,
+            mapq_profile=MapqProfile.aligner_like(),
+        ).simulate(depth=30, seed=43)
+        assert len(np.unique(sample.mapqs)) > 1
+        reads = sample.read_list()
+        assert [r.mapq for r in reads] == sample.mapqs.tolist()
+        bam = tmp_path / "mapq.bam"
+        sample.write_bam(bam)
+        _, decoded = read_bam(bam)
+        assert [r.mapq for r in decoded] == sample.mapqs.tolist()
+
+    def test_min_mapq_filter_engages_end_to_end(self):
+        """The vectorised sample path and the streaming read path must
+        drop exactly the same low-mapq reads."""
+        from repro.pileup.engine import PileupConfig, pileup
+        from repro.pileup.vectorized import pileup_sample_batch
+
+        genome = random_genome(400, seed=44)
+        sample = ReadSimulator(
+            genome, read_length=60,
+            mapq_profile=MapqProfile.aligner_like(),
+        ).simulate(depth=50, seed=45)
+        config = PileupConfig(min_mapq=30)
+        region = Region(genome.name, 0, len(genome))
+        batch = pileup_sample_batch(sample, region, config)
+        stream = list(
+            pileup(iter(sample.read_list()), genome.sequence, region, config)
+        )
+        batch_cols = list(batch.columns())
+        assert len(batch_cols) == len(stream)
+        for a, b in zip(batch_cols, stream):
+            assert a.pos == b.pos
+            assert np.array_equal(a.base_codes, b.base_codes)
+            assert np.array_equal(a.mapqs, b.mapqs)
+        # The filter genuinely dropped reads somewhere.
+        unfiltered = pileup_sample_batch(sample, region, PileupConfig())
+        assert int(batch.depths.sum()) < int(unfiltered.depths.sum())
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError, match="low_fraction"):
+            MapqProfile(low_fraction=1.5)
+        with pytest.raises(ValueError, match="mapq"):
+            MapqProfile(mapq=300)
+        with pytest.raises(ValueError, match="jitter"):
+            MapqProfile(jitter=-1.0)
