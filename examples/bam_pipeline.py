@@ -26,7 +26,7 @@ from repro import (
 )
 from repro.io.bam import BamReader
 from repro.io.fasta import load_reference, write_fasta
-from repro.io.linear_index import build_index
+from repro.io.index import build_bai_index
 from repro.io.vcf import read_vcf
 
 
@@ -37,7 +37,7 @@ def main() -> None:
     workdir.mkdir(parents=True, exist_ok=True)
     ref_path = workdir / "reference.fa"
     bam_path = workdir / "sample.bam"
-    idx_path = workdir / "sample.bam.rli"
+    idx_path = workdir / "sample.bam.bai"
     vcf_path = workdir / "calls.vcf"
 
     # Simulate and persist.
@@ -51,11 +51,13 @@ def main() -> None:
     print(f"wrote {n} reads to {bam_path} "
           f"({bam_path.stat().st_size / 1e6:.1f} MB BGZF-compressed)")
 
-    # Index for per-worker seeks.
-    index = build_index(bam_path)
+    # Standard BAI binning index for per-worker seeks (any samtools-
+    # compatible tool can consume the sidecar too).
+    index = build_bai_index(bam_path)
     index.save(idx_path)
-    print(f"linear index: {len(index.checkpoints)} checkpoints, "
-          f"max read span {index.max_read_span}")
+    ref0 = index.references[0]
+    print(f"BAI index: {len(ref0.bins)} bins, "
+          f"{len(ref0.intervals)} linear windows -> {idx_path.name}")
 
     # Inspect the BAM like samtools view | head.
     with BamReader(bam_path) as reader:
@@ -68,7 +70,7 @@ def main() -> None:
 
     # Parallel call straight off the file (independent reader/worker):
     # source -> engine -> sink, with the VCF streamed as calls finish.
-    source = BamSource(bam_path, load_reference(ref_path))
+    source = BamSource(bam_path, load_reference(ref_path), index=idx_path)
     t0 = time.perf_counter()
     result = Pipeline(
         source,

@@ -11,9 +11,13 @@ set-associative LRU cache model:
 * :mod:`repro.cachesim.traces` -- access-trace generators for the DP
   sweep, the Poisson approximation's single pass, and multi-threaded
   interleavings sharing one cache.
+* :mod:`repro.cachesim.lru` -- the LRU policy graduated from
+  simulation into a real bounded cache, used by
+  :class:`repro.io.bgzf.BgzfReader` for decompressed BGZF blocks.
 """
 
 from repro.cachesim.cache import CacheStats, SetAssociativeCache
+from repro.cachesim.lru import LruCache
 from repro.cachesim.traces import (
     approx_column_trace,
     dp_column_trace,
@@ -23,6 +27,7 @@ from repro.cachesim.traces import (
 
 __all__ = [
     "CacheStats",
+    "LruCache",
     "SetAssociativeCache",
     "approx_column_trace",
     "dp_column_trace",

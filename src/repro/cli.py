@@ -3,13 +3,20 @@
 Subcommands mirror the original tool-chain:
 
 * ``simulate`` -- generate a synthetic sample (BAM + reference FASTA
-  + ground-truth VCF).
+  + ground-truth VCF); ``--mapq-profile aligner_like`` stamps a
+  realistic mapping-quality mixture so ``call --min-mapq`` /
+  ``--merge-mapq`` have something to bite on.
+* ``index`` -- write a region-seek sidecar for a BAM: the standard
+  ``.bai`` binning index (readable by any samtools-compatible tool)
+  or the homegrown linear multi-index.
 * ``call`` -- call variants on a BAM (original or improved algorithm,
   serial, OpenMP-style parallel, or the legacy buggy parallel mode
   for demonstration); ``--all-contigs`` covers every reference of a
-  multi-contig BAM, ``--output-format {vcf,jsonl}`` picks the output
-  dialect and ``--stats-json`` emits machine-readable run stats.  The
-  subcommand is a thin adapter over :mod:`repro.pipeline`.
+  multi-contig BAM, ``--index`` consumes a pre-built sidecar,
+  ``--cache-blocks`` sizes the per-reader decompressed-block LRU,
+  ``--output-format {vcf,jsonl}`` picks the output dialect and
+  ``--stats-json`` emits machine-readable run stats.  The subcommand
+  is a thin adapter over :mod:`repro.pipeline`.
 * ``compare`` -- concordance report between two VCFs.
 * ``upset`` -- ASCII upset plot across any number of VCFs (Figure 3).
 
@@ -47,10 +54,45 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["hiseq", "miseq", "long_read"],
         default="hiseq",
     )
+    p_sim.add_argument(
+        "--mapq-profile",
+        choices=["constant", "aligner_like"],
+        default=None,
+        help="per-read mapping qualities: constant 60s, or an "
+        "aligner-like mixture with an ambiguous low-mapq tail "
+        "(exercises call --min-mapq / --merge-mapq); default keeps "
+        "the historical constant-60 stamp",
+    )
     p_sim.add_argument("--seed", type=int, default=0)
     p_sim.add_argument("--out-bam", required=True)
     p_sim.add_argument("--out-reference")
     p_sim.add_argument("--out-truth")
+
+    p_index = sub.add_parser(
+        "index", help="write a region-seek sidecar index for a BAM"
+    )
+    p_index.add_argument("bam", help="coordinate-sorted BAM to index")
+    p_index.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="sidecar path (default: <bam>.bai, or <bam>.rmi for "
+        "--format linear)",
+    )
+    p_index.add_argument(
+        "--format",
+        choices=["bai", "linear"],
+        default="bai",
+        help="bai = the standard binning index (interoperable); "
+        "linear = the homegrown per-contig checkpoint table",
+    )
+    p_index.add_argument(
+        "--granularity",
+        type=int,
+        default=256,
+        metavar="N",
+        help="records between checkpoints (--format linear only)",
+    )
 
     p_call = sub.add_parser("call", help="call variants on a BAM")
     p_call.add_argument("bam")
@@ -120,6 +162,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-column depth cap; extra reads are counted but their "
         "bases dropped (default: LoFreq's 1,000,000)",
     )
+    p_call.add_argument(
+        "--index",
+        default=None,
+        metavar="PATH",
+        help="pre-built sidecar index for region seeks (a .bai from "
+        "'repro-lofreq index' or any samtools-compatible tool, or a "
+        "linear sidecar); default builds a linear index in memory "
+        "when needed",
+    )
+    p_call.add_argument(
+        "--cache-blocks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="decompressed BGZF blocks cached per worker reader "
+        "(~64 KiB each; default 32)",
+    )
     p_call.add_argument("--workers", type=int, default=1)
     p_call.add_argument(
         "--schedule", choices=["static", "dynamic", "guided"], default="dynamic"
@@ -162,8 +221,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     qm = getattr(QualityModel, args.quality_profile)()
+    mapq_profile = None
+    if args.mapq_profile is not None:
+        from repro.sim.quality import MapqProfile
+
+        mapq_profile = getattr(MapqProfile, args.mapq_profile)()
     simulator = ReadSimulator(
-        genome, panel, quality_model=qm, read_length=args.read_length
+        genome,
+        panel,
+        quality_model=qm,
+        read_length=args.read_length,
+        mapq_profile=mapq_profile,
     )
     sample = simulator.simulate(args.depth, seed=args.seed)
     n = sample.write_bam(args.out_bam)
@@ -190,6 +258,36 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             source="repro-sim-truth",
         )
         print(f"wrote {len(records)} truth variants to {args.out_truth}")
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    from repro.io.index import build_bai_index, build_linear_index
+
+    try:
+        if args.format == "bai":
+            out = args.out or f"{args.bam}.bai"
+            index = build_bai_index(args.bam)
+            index.save(out)
+            n_bins = sum(len(ref.bins) for ref in index.references)
+            print(
+                f"wrote BAI index ({len(index.references)} references, "
+                f"{n_bins} bins) to {out}"
+            )
+        else:
+            out = args.out or f"{args.bam}.rmi"
+            index = build_linear_index(
+                args.bam, granularity=args.granularity
+            )
+            index.save(out)
+            n_cp = sum(len(ix.checkpoints) for ix in index.values())
+            print(
+                f"wrote linear index ({len(index)} contigs, "
+                f"{n_cp} checkpoints) to {out}"
+            )
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -299,9 +397,18 @@ def _cmd_call(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    source = BamSource(
-        args.bam, references, regions=regions, pileup_config=pileup_config
-    )
+    try:
+        source = BamSource(
+            args.bam,
+            references,
+            regions=regions,
+            pileup_config=pileup_config,
+            index=args.index,
+            cache_blocks=args.cache_blocks,
+        )
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     t0 = time.perf_counter()
     result = Pipeline(source, config=config, policy=policy, sinks=sinks).run()
     elapsed = time.perf_counter() - t0
@@ -316,6 +423,11 @@ def _cmd_call(args: argparse.Namespace) -> int:
         print(f"approx first-pass : {s.approx_invocations}")
         print(f"exact DP skipped  : {s.exact_skipped} ({s.skip_fraction():.1%})")
         print(f"DP steps          : {s.dp_steps}")
+        print(
+            f"block cache       : {s.cache_hits} hits / "
+            f"{s.cache_misses} misses ({s.cache_hit_rate():.1%}), "
+            f"{s.cache_evictions} evictions"
+        )
         for k, v in sorted(s.decisions.items()):
             print(f"  decision {k:<22}: {v}")
     return 0
@@ -362,6 +474,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "simulate": _cmd_simulate,
+        "index": _cmd_index,
         "call": _cmd_call,
         "compare": _cmd_compare,
         "upset": _cmd_upset,

@@ -111,6 +111,9 @@ class RunStats:
     time_pileup: float = 0.0
     time_stats: float = 0.0
     time_total: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
 
     def record_decision(self, decision: ColumnDecision) -> None:
         self.decisions[decision.value] = self.decisions.get(decision.value, 0) + 1
@@ -135,6 +138,9 @@ class RunStats:
         self.time_pileup += other.time_pileup
         self.time_stats += other.time_stats
         self.time_total += other.time_total
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_evictions += other.cache_evictions
         for k, v in other.decisions.items():
             self.decisions[k] = self.decisions.get(k, 0) + v
         return self
@@ -144,6 +150,14 @@ class RunStats:
         if self.tests_run == 0:
             return 0.0
         return self.exact_skipped / self.tests_run
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of BGZF block fetches served from the reader-side
+        decompressed-block LRU (0.0 when no fetches were counted)."""
+        total = self.cache_hits + self.cache_misses
+        if total == 0:
+            return 0.0
+        return self.cache_hits / total
 
     def to_dict(self) -> Dict[str, object]:
         """Machine-readable snapshot of every counter.
@@ -166,6 +180,10 @@ class RunStats:
             "time_pileup": float(self.time_pileup),
             "time_stats": float(self.time_stats),
             "time_total": float(self.time_total),
+            "cache_hits": int(self.cache_hits),
+            "cache_misses": int(self.cache_misses),
+            "cache_evictions": int(self.cache_evictions),
+            "cache_hit_rate": float(self.cache_hit_rate()),
         }
 
 

@@ -10,6 +10,13 @@ This subpackage provides the substrate LoFreq gets from htslib:
   offsets, the container format underneath BAM.
 * :mod:`repro.io.bam` -- the binary BAM format (records round-trip
   byte-exactly through :mod:`repro.io.bgzf`).
+* :mod:`repro.io.index` -- the unified
+  :class:`~repro.io.index.RandomAccessIndex` region-seek API, its
+  builders and the sidecar loader.
+* :mod:`repro.io.bai` -- the standard BAI binning index (reads and
+  writes interoperable ``.bai`` sidecars).
+* :mod:`repro.io.linear_index` -- the homegrown per-contig linear
+  checkpoint index.
 * :mod:`repro.io.vcf` -- variant call output in VCF 4.2.
 * :mod:`repro.io.regions` -- genomic interval parsing and arithmetic.
 
@@ -28,27 +35,47 @@ from repro.io.fastq import FastqRecord, read_fastq, write_fastq
 from repro.io.records import FLAG_REVERSE, FLAG_UNMAPPED, AlignedRead, SamHeader
 from repro.io.regions import Region, parse_region
 from repro.io.sam import read_sam, write_sam
+from repro.io.bai import BaiIndex, build_bai, reg2bins
 from repro.io.bam import read_bam, write_bam
 from repro.io.bgzf import BgzfReader, BgzfWriter
+from repro.io.index import (
+    Chunk,
+    MultiContigIndex,
+    RandomAccessIndex,
+    build_bai_index,
+    build_linear_index,
+    load_index,
+)
+from repro.io.linear_index import LinearIndex
 from repro.io.vcf import VcfRecord, read_vcf, write_vcf
 
 __all__ = [
     "AlignedRead",
+    "BaiIndex",
     "BgzfReader",
     "BgzfWriter",
+    "Chunk",
     "CigarOp",
     "FLAG_REVERSE",
     "FLAG_UNMAPPED",
     "FastaRecord",
     "FastqRecord",
+    "LinearIndex",
+    "MultiContigIndex",
+    "RandomAccessIndex",
     "Region",
     "SamHeader",
     "VcfRecord",
+    "build_bai",
+    "build_bai_index",
+    "build_linear_index",
     "cigar_to_string",
+    "load_index",
     "parse_cigar",
     "parse_region",
     "query_length",
     "read_bam",
+    "reg2bins",
     "read_fasta",
     "read_fastq",
     "read_sam",

@@ -373,6 +373,7 @@ class BamWriter:
         return voffset
 
     def close(self) -> None:
+        """Flush the BGZF stream (EOF sentinel included) and close."""
         self._bgzf.close()
 
     def __enter__(self) -> "BamWriter":
@@ -389,10 +390,17 @@ class BamReader:
     virtual offset previously returned by :meth:`tell` or by
     :meth:`BamWriter.write`, enabling the per-worker partitioned
     readers used by :mod:`repro.parallel`.
+
+    Args:
+        source: path or binary file object holding a BAM stream.
+        cache_blocks: decompressed BGZF blocks kept resident in the
+            reader's LRU buffer (see :class:`repro.io.bgzf.BgzfReader`);
+            more blocks make repeated/overlapping region seeks skip
+            re-inflation at ~64 KiB of memory per block.
     """
 
-    def __init__(self, source: PathOrFile) -> None:
-        self._bgzf = BgzfReader(source)
+    def __init__(self, source: PathOrFile, cache_blocks: int = 1) -> None:
+        self._bgzf = BgzfReader(source, cache_blocks=cache_blocks)
         magic = self._bgzf.readexact(4)
         if magic != BAM_MAGIC:
             raise ValueError(f"not a BAM file (magic {magic!r})")
@@ -415,10 +423,17 @@ class BamReader:
         """Decompressed-block counter (tracer instrumentation)."""
         return self._bgzf.blocks_read
 
+    @property
+    def data_start(self) -> int:
+        """Virtual offset of the first alignment record."""
+        return self._data_start
+
     def tell(self) -> int:
+        """Virtual offset of the next record to be read."""
         return self._bgzf.tell()
 
     def seek(self, voffset: int) -> None:
+        """Position the reader at a virtual offset from :meth:`tell`."""
         self._bgzf.seek(voffset)
 
     def rewind(self) -> None:
@@ -444,6 +459,7 @@ class BamReader:
             yield rec
 
     def close(self) -> None:
+        """Release the underlying BGZF reader."""
         self._bgzf.close()
 
     def __enter__(self) -> "BamReader":

@@ -4,21 +4,29 @@ htslib's BAI index lets readers jump to a genomic region without
 scanning; the parallel runtime needs the same capability so each
 worker thread can seek its own :class:`~repro.io.bam.BamReader`
 straight to its chunk ("an independent .bam file reader for each
-thread", paper Section II-B).  The full binning scheme is unnecessary
-for the short contigs this pipeline targets, so the index is linear:
-every ``granularity``-th record contributes a
-``(position, virtual offset, read end)`` checkpoint.  Multi-contig
-BAMs get one such index per contig (:func:`build_multi_index`, which
-:func:`build_index` is a single-contig convenience over).
+thread", paper Section II-B).  This module keeps the *linear*
+flavour: every ``granularity``-th record contributes a
+``(position, virtual offset)`` checkpoint, and a query answers with
+one open-ended suffix scan.  The standard O(log) binning scheme lives
+in :mod:`repro.io.bai`; both answer the unified
+:class:`repro.io.index.RandomAccessIndex` protocol via
+:meth:`LinearIndex.chunks_for`.
 
 The sidecar file format is a small binary table (magic, granularity,
 max read span, then packed int64 triples).
+
+.. deprecated::
+    The module-level builders :func:`build_index` and
+    :func:`build_multi_index` are deprecation shims; use
+    :func:`repro.io.index.build_linear_index` (or
+    :func:`repro.io.index.build_bai_index` for the standard format).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import struct
+import warnings
 from typing import Dict, List, Tuple
 
 from repro.io.bam import BamReader
@@ -58,9 +66,30 @@ class LinearIndex:
                 break
         return best
 
+    def chunks_for(self, contig: str, start: int, end: int):
+        """The :class:`repro.io.index.RandomAccessIndex` answer shape:
+        one open-ended chunk starting at :meth:`query`\\ ``(start)``.
+
+        A single-contig index stores no contig name, so ``contig`` is
+        not validated here -- wrap in a
+        :class:`repro.io.index.MultiContigIndex` to route by name.
+        ``end`` does not tighten the plan either (checkpoints only
+        bound starts); consumers stop at the region end themselves.
+        """
+        from repro.io.index import MAX_VOFFSET, Chunk
+
+        if end <= start:
+            return []
+        return [Chunk(self.query(start), MAX_VOFFSET)]
+
+    def contigs(self) -> List[str]:
+        """Protocol stub: a bare single-contig index is nameless."""
+        return []
+
     # -- persistence ---------------------------------------------------------
 
     def save(self, path) -> None:
+        """Write the single-contig sidecar table (magic ``RLI1``)."""
         with open(path, "wb") as fh:
             fh.write(_MAGIC)
             fh.write(
@@ -97,6 +126,13 @@ class LinearIndex:
 def build_index(bam_path, granularity: int = 256) -> LinearIndex:
     """Scan a BAM once and build its flat (single-contig) linear index.
 
+    .. deprecated::
+        Shim kept for compatibility; use
+        :func:`repro.io.index.build_linear_index` (multi-contig, the
+        unified :class:`~repro.io.index.RandomAccessIndex` API) or
+        :func:`repro.io.index.build_bai_index`.  Output is identical
+        to the historical implementation.
+
     Args:
         bam_path: coordinate-sorted BAM file whose records all sit on
             one contig.
@@ -105,9 +141,16 @@ def build_index(bam_path, granularity: int = 256) -> LinearIndex:
 
     Raises:
         ValueError: if the BAM is not coordinate-sorted, or its records
-            span more than one contig (use :func:`build_multi_index`).
+            span more than one contig (use
+            :func:`repro.io.index.build_linear_index`).
     """
-    indexes = build_multi_index(bam_path, granularity)
+    warnings.warn(
+        "build_index is deprecated; use repro.io.index.build_linear_index "
+        "(or build_bai_index for the standard binning scheme)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    indexes = _scan_linear(bam_path, granularity)
     if len(indexes) > 1:
         raise ValueError(
             f"BAM has records on {len(indexes)} contigs "
@@ -137,11 +180,12 @@ def build_multi_index(
 ) -> Dict[str, LinearIndex]:
     """Scan a BAM once and build one linear index per contig.
 
-    A coordinate-sorted multi-contig BAM restarts positions at every
-    contig, so a single flat checkpoint table cannot cover it; instead
-    each contig gets its own :class:`LinearIndex` whose ``data_start``
-    is the virtual offset of that contig's first record.  Contigs with
-    no records are simply absent from the result.
+    .. deprecated::
+        Shim kept for compatibility (returns the historical plain
+        ``dict``); use :func:`repro.io.index.build_linear_index`,
+        which returns the same tables wrapped as a
+        :class:`~repro.io.index.MultiContigIndex` speaking the
+        unified ``chunks_for`` protocol.
 
     Args:
         bam_path: coordinate-sorted BAM file.
@@ -151,6 +195,29 @@ def build_multi_index(
         ValueError: if the BAM is not coordinate-sorted (positions
             decreasing within a contig, or contigs out of header
             order), or a record references a name not in the header.
+    """
+    warnings.warn(
+        "build_multi_index is deprecated; use "
+        "repro.io.index.build_linear_index (or build_bai_index for the "
+        "standard binning scheme)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _scan_linear(bam_path, granularity)
+
+
+def _scan_linear(bam_path, granularity: int = 256) -> Dict[str, LinearIndex]:
+    """The single-scan implementation behind every linear-index
+    builder: one :class:`LinearIndex` per contig with records.
+
+    A coordinate-sorted multi-contig BAM restarts positions at every
+    contig, so a single flat checkpoint table cannot cover it; instead
+    each contig gets its own :class:`LinearIndex` whose ``data_start``
+    is the virtual offset of that contig's first record.  Contigs with
+    no records are simply absent from the result.
+
+    Raises:
+        ValueError: see :func:`build_multi_index`.
     """
     if granularity <= 0:
         raise ValueError(f"granularity must be positive, got {granularity}")

@@ -184,6 +184,7 @@ class AlignedRead:
 
     @property
     def is_unmapped(self) -> bool:
+        """True if the read did not align (FLAG 0x4)."""
         return bool(self.flag & FLAG_UNMAPPED)
 
     @property
@@ -193,18 +194,22 @@ class AlignedRead:
 
     @property
     def is_secondary(self) -> bool:
+        """True for a secondary alignment (FLAG 0x100)."""
         return bool(self.flag & FLAG_SECONDARY)
 
     @property
     def is_duplicate(self) -> bool:
+        """True for a PCR/optical duplicate (FLAG 0x400)."""
         return bool(self.flag & FLAG_DUPLICATE)
 
     @property
     def is_qcfail(self) -> bool:
+        """True if the read failed platform QC (FLAG 0x200)."""
         return bool(self.flag & FLAG_QCFAIL)
 
     @property
     def is_supplementary(self) -> bool:
+        """True for a supplementary alignment (FLAG 0x800)."""
         return bool(self.flag & FLAG_SUPPLEMENTARY)
 
     @property
@@ -228,6 +233,7 @@ class AlignedRead:
 
     @property
     def cigar_string(self) -> str:
+        """The CIGAR rendered as text (``*`` when absent)."""
         return cigar_to_string(self.cigar)
 
     def overlaps(self, start: int, end: int) -> bool:

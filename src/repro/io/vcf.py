@@ -63,6 +63,8 @@ class VcfRecord:
         return (self.chrom, self.pos, self.ref, self.alt)
 
     def info_string(self) -> str:
+        """The INFO column: ``;``-joined ``KEY=value`` pairs (flags as
+        bare keys, floats at 6 significant digits), ``.`` when empty."""
         if not self.info:
             return "."
         parts = []
@@ -78,6 +80,8 @@ class VcfRecord:
         return ";".join(parts)
 
     def to_line(self) -> str:
+        """The record as one tab-separated VCF data line (1-based
+        POS; NaN QUAL rendered as ``.``), without the newline."""
         qual_s = "." if math.isnan(self.qual) else f"{self.qual:.6g}"
         return "\t".join(
             [
@@ -175,10 +179,13 @@ class VcfWriter:
         handle.write("#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\n")
 
     def write(self, record: VcfRecord) -> None:
+        """Append one record as a data line."""
         self._handle.write(record.to_line() + "\n")
         self.records_written += 1
 
     def close(self) -> None:
+        """Close the underlying handle (only if this writer opened
+        it; caller-provided handles stay open)."""
         if self._owned:
             self._handle.close()
 

@@ -259,6 +259,19 @@ class Pipeline:
                     stats=merged.stats,
                 )
             result = merged
+        # Fold the source's I/O counters (BGZF block-cache hit/miss/
+        # eviction tallies from every reader it created) into the run
+        # stats before the sinks snapshot them.  Process-backend
+        # children hold their readers in the forked workers, so only
+        # parent-side readers are counted there.
+        io_stats = getattr(self.source, "io_stats", None)
+        if io_stats is not None:
+            counters = io_stats()
+            result.stats.cache_hits += int(counters.get("cache_hits", 0))
+            result.stats.cache_misses += int(counters.get("cache_misses", 0))
+            result.stats.cache_evictions += int(
+                counters.get("cache_evictions", 0)
+            )
         # Sinks only open once calling has succeeded (filter labels are
         # fitted on the complete call set anyway, so nothing could
         # stream earlier) -- a failed run never leaves a header-only

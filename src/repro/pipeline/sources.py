@@ -361,10 +361,18 @@ class BamSource:
     The default region set is **every reference in the BAM header**, so
     multi-contig BAMs are called end to end.  Each worker (thread or
     forked process) gets an independent :class:`~repro.io.bam.BamReader`
-    and seeks straight to its chunk through a lazily built per-contig
-    linear index (:func:`repro.io.linear_index.build_multi_index`); the
-    common serial whole-file case streams from the first record without
-    paying for an index scan.
+    and seeks straight to its chunk through a
+    :class:`~repro.io.index.RandomAccessIndex` -- by default a lazily
+    built per-contig linear index
+    (:func:`repro.io.index.build_linear_index`), or any index passed
+    via ``index`` (a :class:`~repro.io.bai.BaiIndex` for the standard
+    O(log) binned seek plan, or a sidecar path); the common serial
+    whole-file case streams from the first record without paying for
+    an index scan.  Per-worker readers keep an LRU buffer of
+    decompressed BGZF blocks (``cache_blocks``), so repeated or
+    overlapping region traffic stops re-inflating the same blocks;
+    the buffer's hit/miss/eviction counters aggregate through
+    :meth:`io_stats` into :class:`~repro.core.results.RunStats`.
 
     Args:
         path: coordinate-sorted BAM file.
@@ -387,17 +395,33 @@ class BamSource:
             for huge unchunked regions -- the engine no longer relies
             solely on its own ``slice_columns`` guard.  ``None``
             disables the re-slice (one batch per chunk).
+        index: region-seek index.  ``None`` (default) lazily builds
+            the per-contig linear index on first region seek; a
+            :class:`~repro.io.index.RandomAccessIndex` instance (e.g.
+            :func:`repro.io.index.build_bai_index` output) is used as
+            given; a path loads a sidecar via
+            :func:`repro.io.index.load_index` (``.bai`` files get the
+            header's reference names attached automatically).  Every
+            flavour produces byte-identical calls -- only the seek
+            plans differ.
+        cache_blocks: decompressed BGZF blocks kept resident per
+            worker reader (~64 KiB each; the
+            :data:`DEFAULT_CACHE_BLOCKS` default bounds a reader's
+            buffer at ~2 MiB).
 
     Raises:
         ValueError: if a single reference string is paired with regions
-            on more than one contig, or ``batch_columns`` is not
-            positive.
+            on more than one contig, or ``batch_columns`` /
+            ``cache_blocks`` is not positive.
     """
 
     #: Default per-work-unit column cap (the module-wide
     #: :data:`DEFAULT_BATCH_COLUMNS`; kept as a class attribute for
     #: backward compatibility).
     DEFAULT_BATCH_COLUMNS = DEFAULT_BATCH_COLUMNS
+
+    #: Default decompressed-block LRU capacity per worker reader.
+    DEFAULT_CACHE_BLOCKS = 32
 
     def __init__(
         self,
@@ -407,17 +431,37 @@ class BamSource:
         pileup_config: Optional[PileupConfig] = None,
         *,
         batch_columns: Optional[int] = DEFAULT_BATCH_COLUMNS,
+        index=None,
+        cache_blocks: Optional[int] = None,
     ) -> None:
         from repro.io.bam import BamReader
 
         self.path = os.fspath(path)
         self.batch_columns = _validate_batch_columns(batch_columns)
+        if cache_blocks is None:
+            cache_blocks = self.DEFAULT_CACHE_BLOCKS
+        if cache_blocks <= 0:
+            raise ValueError(
+                f"cache_blocks must be positive, got {cache_blocks}"
+            )
+        self.cache_blocks = cache_blocks
         self.pileup_config = pileup_config or PileupConfig()
         with BamReader(self.path) as reader:
             self.contigs: List[Tuple[str, int]] = list(
                 reader.header.references
             )
         self._rank = {name: i for i, (name, _) in enumerate(self.contigs)}
+        self._index = None
+        if isinstance(index, (str, os.PathLike)):
+            from repro.io.index import load_index
+
+            # Resolve sidecar paths eagerly: a bad --index surfaces at
+            # construction, not at the first non-rewind seek.
+            self._index = load_index(
+                index, names=[name for name, _ in self.contigs]
+            )
+        elif index is not None:
+            self._index = index
         if regions is None:
             if isinstance(reference, str) and len(self.contigs) > 1:
                 # A single sequence string cannot describe more than
@@ -433,9 +477,10 @@ class BamSource:
         else:
             self._regions = list(regions)
         self._refmap = self._build_refmap(reference)
-        self._indexes: Optional[Dict[str, object]] = None
         self._index_lock = threading.Lock()
         self._local = threading.local()
+        self._all_readers: List[object] = []
+        self._readers_lock = threading.Lock()
 
     def _build_refmap(self, reference: ReferenceLike) -> Dict[str, str]:
         if isinstance(reference, str):
@@ -465,18 +510,22 @@ class BamSource:
             ) from None
 
     def prepare(self) -> None:
-        """Build the per-contig index eagerly (the process backend
+        """Build (or load) the seek index eagerly (the process backend
         calls this before forking so children inherit it)."""
-        self._ensure_indexes()
+        self._ensure_index()
 
-    def _ensure_indexes(self) -> Dict[str, object]:
-        if self._indexes is None:
+    def _ensure_index(self):
+        """The :class:`~repro.io.index.RandomAccessIndex` behind every
+        region seek.  Explicit indexes (instance or sidecar path) were
+        resolved at construction; the default linear multi-index is
+        built lazily here, on the first seek that needs it."""
+        if self._index is None:
             with self._index_lock:
-                if self._indexes is None:
-                    from repro.io.linear_index import build_multi_index
+                if self._index is None:
+                    from repro.io.index import build_linear_index
 
-                    self._indexes = build_multi_index(self.path)
-        return self._indexes
+                    self._index = build_linear_index(self.path)
+        return self._index
 
     def _reader(self):
         from repro.io.bam import BamReader
@@ -486,23 +535,84 @@ class BamSource:
         key = os.getpid()
         reader = getattr(self._local, "reader", None)
         if reader is None or getattr(self._local, "pid", None) != key:
-            reader = BamReader(self.path)  # independent reader per worker
+            # Independent reader per worker, with its own
+            # decompressed-block LRU buffer.
+            reader = BamReader(self.path, cache_blocks=self.cache_blocks)
             self._local.reader = reader
             self._local.pid = key
+            with self._readers_lock:
+                self._all_readers.append(reader)
         return reader
 
     _NO_READS = object()
+    _REWIND = object()
 
-    def _seek_offset(self, chunk: Region):
-        """Virtual offset to scan ``chunk`` from; ``None`` means "the
-        first record" (no index needed); ``_NO_READS`` means the contig
-        has no records at all."""
-        if self.contigs and chunk.chrom == self.contigs[0][0] and chunk.start == 0:
-            return None
-        index = self._ensure_indexes().get(chunk.chrom)
-        if index is None:
-            return self._NO_READS
-        return index.query(chunk.start)
+    def _chunk_plan(self, chunk: Region):
+        """The seek plan for ``chunk``: the :data:`_REWIND` sentinel
+        ("stream from the first record", no index needed -- the serial
+        whole-file fast path), or the index's
+        :meth:`~repro.io.index.RandomAccessIndex.chunks_for` list
+        (empty when the contig has no indexed records)."""
+        if (
+            self.contigs
+            and chunk.chrom == self.contigs[0][0]
+            and chunk.start == 0
+        ):
+            return self._REWIND
+        return self._ensure_index().chunks_for(
+            chunk.chrom, chunk.start, chunk.end
+        )
+
+    def _iter_records(self, reader, chunk: Region, plan):
+        """``chunk``'s records in file order, driven by the seek plan.
+
+        The rewind plan streams from the first record; a chunk-list
+        plan seeks to each range's start and stops at its end (ranges
+        whose ``vend`` is :data:`~repro.io.index.MAX_VOFFSET` are
+        open-ended, so the per-record ``tell()`` bound check is
+        skipped -- the linear indexes' plans cost exactly what the old
+        single-offset seek did).  Position/contig filtering is
+        identical in both modes, which is what keeps every index
+        flavour byte-identical: plans may cover extra records, but
+        only records overlapping ``chunk`` survive the filters.
+        """
+        from repro.io.index import MAX_VOFFSET
+
+        chunk_rank = self._rank.get(chunk.chrom)
+        if chunk_rank is None:
+            raise ValueError(
+                f"contig {chunk.chrom!r} is not in the BAM header"
+            )
+        if plan is self._REWIND:
+            reader.rewind()
+            spans = [None]
+        else:
+            spans = plan
+        for span in spans:
+            if span is not None:
+                reader.seek(span.vbegin)
+                bounded = span.vend < MAX_VOFFSET
+            else:
+                bounded = False
+            while True:
+                if bounded and reader.tell() >= span.vend:
+                    break  # past this range; try the plan's next one
+                rec = reader.read_record()
+                if rec is None:
+                    return
+                if rec.rname != chunk.chrom:
+                    # Sorted BAM: a later contig means we are done; an
+                    # earlier one (only possible after a rewind) is
+                    # skipped until our contig's block starts.
+                    if (
+                        self._rank.get(rec.rname, len(self._rank))
+                        > chunk_rank
+                    ):
+                        return
+                    continue
+                if rec.pos >= chunk.end:
+                    return
+                yield rec
 
     def _scan(self, chunk: Region, tracer: Optional[Tracer], worker: int, build):
         """Seek to ``chunk``, stream its records through ``build``
@@ -511,45 +621,44 @@ class BamSource:
         BAM_ITER, as HPC-Toolkit would.  Returns ``None`` when the
         contig has no records at all."""
         trc = tracer or Tracer()
-        offset = self._seek_offset(chunk)
-        if offset is self._NO_READS:
+        plan = self._chunk_plan(chunk)
+        if plan is not self._REWIND and not plan:
             return None
         reader = self._reader()
-        chunk_rank = self._rank.get(chunk.chrom)
-        if chunk_rank is None:
-            raise ValueError(
-                f"contig {chunk.chrom!r} is not in the BAM header"
-            )
         t_dec0 = reader._bgzf.time_decompress
         t0 = time.perf_counter()
-        if offset is None:
-            reader.rewind()
-        else:
-            reader.seek(offset)
-
-        def reads():
-            """This chunk's records, in file order."""
-            while True:
-                rec = reader.read_record()
-                if rec is None:
-                    return
-                if rec.rname != chunk.chrom:
-                    # Sorted BAM: a later contig means we are done; an
-                    # earlier one (only possible after a rewind) is
-                    # skipped until our contig's block starts.
-                    if self._rank.get(rec.rname, len(self._rank)) > chunk_rank:
-                        return
-                    continue
-                if rec.pos >= chunk.end:
-                    return
-                yield rec
-
-        result = build(reads())
+        result = build(self._iter_records(reader, chunk, plan))
         t1 = time.perf_counter()
         dec = reader._bgzf.time_decompress - t_dec0
         trc.record(worker, Category.DECOMPRESS, t0, t0 + dec)
         trc.record(worker, Category.BAM_ITER, t0 + dec, t1)
         return result
+
+    def io_stats(self) -> Dict[str, float]:
+        """Aggregate I/O counters over every reader this source has
+        created (in this process): BGZF blocks inflated, inflation
+        seconds, and the decompressed-block LRU's hit/miss/eviction
+        counts.  Readers created inside forked worker processes
+        (process backend) live in the children and are not visible
+        here; thread-backend and serial runs are fully covered.
+        """
+        stats = {
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "cache_evictions": 0,
+            "blocks_read": 0,
+            "time_decompress": 0.0,
+        }
+        with self._readers_lock:
+            readers = list(self._all_readers)
+        for reader in readers:
+            bgzf = reader._bgzf
+            stats["cache_hits"] += bgzf.cache_hits
+            stats["cache_misses"] += bgzf.cache_misses
+            stats["cache_evictions"] += bgzf.cache_evictions
+            stats["blocks_read"] += bgzf.blocks_read
+            stats["time_decompress"] += bgzf.time_decompress
+        return stats
 
     def columns_for(
         self,
@@ -574,42 +683,21 @@ class BamSource:
         )
         return [] if columns is None else columns
 
-    def _stream_batches(self, reader, chunk: Region, offset):
+    def _stream_batches(self, reader, chunk: Region, plan):
         """The untimed inner generator behind :meth:`batches_for`:
-        seek, then stream records through a
+        stream the seek plan's records through a
         :class:`~repro.pileup.vectorized.ColumnBatchBuilder`, yielding
         each completed window's batches as soon as the scan passes
         them."""
         from repro.pileup.vectorized import ColumnBatchBuilder
 
-        chunk_rank = self._rank.get(chunk.chrom)
-        if chunk_rank is None:
-            raise ValueError(
-                f"contig {chunk.chrom!r} is not in the BAM header"
-            )
-        if offset is None:
-            reader.rewind()
-        else:
-            reader.seek(offset)
         builder = ColumnBatchBuilder(
             self._reference_for(chunk.chrom),
             chunk,
             self.pileup_config,
             batch_columns=self.batch_columns,
         )
-        while True:
-            rec = reader.read_record()
-            if rec is None:
-                break
-            if rec.rname != chunk.chrom:
-                # Sorted BAM: a later contig means we are done; an
-                # earlier one (only possible after a rewind) is
-                # skipped until our contig's block starts.
-                if self._rank.get(rec.rname, len(self._rank)) > chunk_rank:
-                    break
-                continue
-            if rec.pos >= chunk.end:
-                break
+        for rec in self._iter_records(reader, chunk, plan):
             yield from builder.add_read(rec)
         yield from builder.finish()
 
@@ -647,11 +735,11 @@ class BamSource:
         (each has its own reader).
         """
         trc = tracer or Tracer()
-        offset = self._seek_offset(chunk)
-        if offset is self._NO_READS:
+        plan = self._chunk_plan(chunk)
+        if plan is not self._REWIND and not plan:
             return
         reader = self._reader()
-        inner = self._stream_batches(reader, chunk, offset)
+        inner = self._stream_batches(reader, chunk, plan)
         while True:
             t_dec0 = reader._bgzf.time_decompress
             t0 = time.perf_counter()

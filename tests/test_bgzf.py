@@ -173,3 +173,86 @@ class TestBlockOffsets:
         reader.read()
         assert reader.blocks_read >= 3
         assert reader.time_decompress > 0.0
+
+
+class TestBlockCache:
+    """The decompressed-block LRU behind seek-heavy region queries."""
+
+    @staticmethod
+    def _multi_block_stream(n_blocks=4, block_payload=60_000):
+        """A BGZF stream of several full blocks; returns (buffer,
+        payload)."""
+        payload = bytes(
+            (i * 7 + j) & 0xFF
+            for i in range(n_blocks)
+            for j in range(block_payload)
+        )
+        buf = io.BytesIO()
+        with BgzfWriter(buf) as writer:
+            writer.write(payload)
+        buf.seek(0)
+        return buf, payload
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            BgzfReader(io.BytesIO(BGZF_EOF), cache_blocks=0)
+
+    def test_default_reader_counts_misses_only_forward(self):
+        buf, payload = self._multi_block_stream()
+        with BgzfReader(buf) as reader:
+            assert reader.cache_blocks == 1
+            assert reader.read() == payload
+            # Forward streaming never revisits a block: all misses
+            # (the trailing EOF-marker probe is a miss too, but only
+            # real payload blocks count as read).
+            assert reader.cache_hits == 0
+            assert reader.blocks_read <= reader.cache_misses <= reader.blocks_read + 1
+
+    def test_re_seek_hits_with_cache(self):
+        buf, payload = self._multi_block_stream()
+        offsets = block_offsets(buf)
+        buf.seek(0)
+        with BgzfReader(buf, cache_blocks=8) as reader:
+            reader.read()  # cold pass inflates every block
+            cold_blocks = reader.blocks_read
+            for start in offsets[:3]:
+                reader.seek(make_virtual_offset(start, 0))
+                reader.read(1000)
+            # Warm re-reads are served from the buffer: no new
+            # inflation, three hits.
+            assert reader.blocks_read == cold_blocks
+            assert reader.cache_hits >= 3
+
+    def test_single_block_cache_evicts_on_movement(self):
+        buf, payload = self._multi_block_stream()
+        offsets = block_offsets(buf)
+        buf.seek(0)
+        with BgzfReader(buf, cache_blocks=1) as reader:
+            a = make_virtual_offset(offsets[0], 0)
+            b = make_virtual_offset(offsets[1], 0)
+            for voffset in (a, b, a, b):
+                reader.seek(voffset)
+                reader.read(10)
+            # Capacity 1 ping-pong: every fetch after the first evicts.
+            assert reader.cache_hits == 0
+            assert reader.cache_evictions >= 2
+            assert reader.blocks_read >= 4
+
+    def test_cache_does_not_change_bytes(self):
+        buf, payload = self._multi_block_stream()
+        raw = buf.getvalue()
+        plain = BgzfReader(io.BytesIO(raw)).read()
+        cached_reader = BgzfReader(io.BytesIO(raw), cache_blocks=16)
+        first = cached_reader.read()
+        cached_reader.seek(0)
+        second = cached_reader.read()
+        assert plain == payload
+        assert first == payload
+        assert second == payload
+
+    def test_eviction_bounds_residency(self):
+        buf, _ = self._multi_block_stream(n_blocks=6)
+        with BgzfReader(buf, cache_blocks=2) as reader:
+            reader.read()
+            # 6+ blocks streamed through a 2-slot buffer.
+            assert reader.cache_evictions >= 4

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cachesim.cache import SetAssociativeCache
+from repro.cachesim.lru import LruCache
 from repro.cachesim.traces import (
     approx_column_trace,
     dp_column_trace,
@@ -130,3 +131,72 @@ class TestPaperDirection:
         cache = SetAssociativeCache(size_bytes=1 << 15)
         shallow = replay(dp_column_trace(100), cache)
         assert shallow.miss_rate < 0.01
+
+
+class TestLruCache:
+    """The production LRU (graduated from the simulator into
+    :class:`repro.io.bgzf.BgzfReader`)."""
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            LruCache(0)
+        with pytest.raises(ValueError):
+            LruCache(-3)
+
+    def test_eviction_order_is_lru(self):
+        cache = LruCache(capacity=3)
+        for k in "abc":
+            cache.put(k, k.upper())
+        cache.get("a")  # promote "a": eviction order is now b, c, a
+        cache.put("d", "D")  # evicts "b"
+        assert "b" not in cache
+        assert list(cache) == ["c", "a", "d"]
+        cache.put("e", "E")  # evicts "c"
+        assert "c" not in cache
+        assert cache.evictions == 2
+
+    def test_put_refresh_promotes_without_evicting(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not insert
+        assert len(cache) == 2
+        assert cache.evictions == 0
+        cache.put("c", 3)  # now "b" is LRU
+        assert "b" not in cache
+        assert cache.get("a") == 10
+
+    def test_hit_miss_counters_and_rate(self):
+        cache = LruCache(capacity=2)
+        assert cache.hit_rate == 0.0
+        cache.put("x", 1)
+        assert cache.get("x") == 1
+        assert cache.get("x") == 1
+        assert cache.get("y") is None
+        assert cache.get("y", default=-1) == -1
+        assert (cache.hits, cache.misses) == (2, 2)
+        assert cache.hit_rate == 0.5
+
+    def test_contains_is_side_effect_free(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert "a" in cache  # must NOT promote "a"
+        cache.put("c", 3)  # evicts "a" (still LRU)
+        assert "a" not in cache
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_clear_preserves_counters(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("zzz")
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_cached_none_is_a_hit(self):
+        cache = LruCache(capacity=2)
+        cache.put("k", None)
+        assert cache.get("k", default="fallback") is None
+        assert cache.hits == 1

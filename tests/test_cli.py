@@ -539,3 +539,189 @@ class TestLegacyParallelFlag:
         )
         _, records = read_vcf(out)
         assert records, "legacy mode should still find the strong variants"
+
+
+class TestIndexSubcommand:
+    def test_writes_default_bai(self, workspace, capsys):
+        bam = workspace / "sample.bam"
+        rc = main(["index", str(bam)])
+        assert rc == 0
+        sidecar = workspace / "sample.bam.bai"
+        assert sidecar.exists()
+        assert sidecar.read_bytes()[:4] == b"BAI\x01"
+        assert "wrote BAI index" in capsys.readouterr().out
+
+    def test_writes_linear_with_out(self, workspace, capsys):
+        bam = workspace / "sample.bam"
+        out = workspace / "custom.rmi"
+        rc = main(
+            ["index", str(bam), "--format", "linear",
+             "--out", str(out), "--granularity", "64"]
+        )
+        assert rc == 0
+        assert out.read_bytes()[:4] == b"RMI1"
+        assert "wrote linear index" in capsys.readouterr().out
+
+    def test_bai_loads_back(self, workspace):
+        from repro.io.bai import BaiIndex
+
+        bam = workspace / "sample.bam"
+        main(["index", str(bam)])
+        index = BaiIndex.load(workspace / "sample.bam.bai")
+        assert len(index.references) == 1
+
+    def test_missing_bam_errors(self, tmp_path, capsys):
+        rc = main(["index", str(tmp_path / "absent.bam")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCallIndexAndCache:
+    def test_call_with_bai_index_byte_identical(self, workspace):
+        bam = workspace / "sample.bam"
+        main(["index", str(bam)])
+        outs = {}
+        for label, extra in [
+            ("plain", []),
+            ("indexed", ["--index", str(workspace / "sample.bam.bai")]),
+        ]:
+            out = workspace / f"calls_idx_{label}.vcf"
+            rc = main(
+                ["call", str(bam),
+                 "--reference", str(workspace / "ref.fa"),
+                 "--out", str(out),
+                 "--region", "NC_045512.2-sim:101-800",
+                 *extra]
+            )
+            assert rc == 0
+            outs[label] = out.read_bytes()
+        assert outs["indexed"] == outs["plain"]
+
+    def test_call_with_bad_index_errors(self, workspace, tmp_path, capsys):
+        bad = tmp_path / "bad.idx"
+        bad.write_bytes(b"JUNKJUNKJUNK")
+        rc = main(
+            ["call", str(workspace / "sample.bam"),
+             "--reference", str(workspace / "ref.fa"),
+             "--out", str(tmp_path / "x.vcf"),
+             "--index", str(bad)]
+        )
+        assert rc == 2
+        assert "magic" in capsys.readouterr().err
+
+    def test_cache_blocks_threads_through(self, workspace):
+        out = workspace / "calls_cached.vcf"
+        rc = main(
+            ["call", str(workspace / "sample.bam"),
+             "--reference", str(workspace / "ref.fa"),
+             "--out", str(out),
+             "--cache-blocks", "8"]
+        )
+        assert rc == 0
+        base = (workspace / "calls2.vcf").read_bytes()
+        assert out.read_bytes() == base
+
+    def test_invalid_cache_blocks_errors(self, workspace, tmp_path, capsys):
+        rc = main(
+            ["call", str(workspace / "sample.bam"),
+             "--reference", str(workspace / "ref.fa"),
+             "--out", str(tmp_path / "x.vcf"),
+             "--cache-blocks", "0"]
+        )
+        assert rc == 2
+        assert "cache_blocks" in capsys.readouterr().err
+
+    def test_stats_json_has_cache_counters(self, workspace, tmp_path):
+        import json
+
+        stats_path = tmp_path / "stats.json"
+        rc = main(
+            ["call", str(workspace / "sample.bam"),
+             "--reference", str(workspace / "ref.fa"),
+             "--out", str(tmp_path / "c.vcf"),
+             "--stats-json", str(stats_path)]
+        )
+        assert rc == 0
+        stats = json.loads(stats_path.read_text())["stats"]
+        assert stats["cache_misses"] > 0
+        assert "cache_hit_rate" in stats
+
+
+class TestMapqProfile:
+    def test_aligner_like_exercises_min_mapq(self, tmp_path):
+        """An aligner-like mapq mixture gives --min-mapq something to
+        drop: filtered calling sees fewer column bases than unfiltered
+        (end-to-end through simulate -> call)."""
+        import json
+
+        bam = tmp_path / "mapq.bam"
+        ref = tmp_path / "mapq_ref.fa"
+        rc = main(
+            ["simulate", "--genome-length", "700", "--depth", "200",
+             "--variants", "4", "--seed", "5",
+             "--mapq-profile", "aligner_like",
+             "--out-bam", str(bam), "--out-reference", str(ref)]
+        )
+        assert rc == 0
+        depths = {}
+        for label, extra in [
+            ("all", []),
+            ("filtered", ["--min-mapq", "30"]),
+        ]:
+            stats_path = tmp_path / f"stats_{label}.json"
+            rc = main(
+                ["call", str(bam), "--reference", str(ref),
+                 "--out", str(tmp_path / f"c_{label}.vcf"),
+                 "--stats-json", str(stats_path), *extra]
+            )
+            assert rc == 0
+            depths[label] = json.loads(stats_path.read_text())["stats"][
+                "columns_seen"
+            ]
+        # Dropping low-mapq reads must not see MORE columns; with the
+        # aligner_like tail some columns lose all coverage.
+        assert depths["filtered"] <= depths["all"]
+
+    def test_constant_profile_matches_default(self, tmp_path):
+        """--mapq-profile constant is byte-identical to the historical
+        constant-60 stamp (the default)."""
+        bams = {}
+        for label, extra in [
+            ("default", []),
+            ("constant", ["--mapq-profile", "constant"]),
+        ]:
+            bam = tmp_path / f"{label}.bam"
+            rc = main(
+                ["simulate", "--genome-length", "500", "--depth", "100",
+                 "--variants", "3", "--seed", "9",
+                 "--out-bam", str(bam), *extra]
+            )
+            assert rc == 0
+            bams[label] = bam.read_bytes()
+        assert bams["constant"] == bams["default"]
+
+    def test_merge_mapq_changes_calls_with_profile(self, tmp_path):
+        """--merge-mapq has bite on an aligner_like BAM: folding a
+        20-mapq read's 1% mis-mapping chance into its base qualities
+        shifts the error model (the run completes either way)."""
+        bam = tmp_path / "mm.bam"
+        ref = tmp_path / "mm_ref.fa"
+        main(
+            ["simulate", "--genome-length", "600", "--depth", "150",
+             "--variants", "3", "--seed", "13",
+             "--mapq-profile", "aligner_like",
+             "--out-bam", str(bam), "--out-reference", str(ref)]
+        )
+        for extra in ([], ["--merge-mapq"]):
+            rc = main(
+                ["call", str(bam), "--reference", str(ref),
+                 "--out", str(tmp_path / f"out{len(extra)}.vcf"), *extra]
+            )
+            assert rc == 0
+
+    def test_rejects_unknown_profile(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--out-bam", "x.bam",
+                 "--mapq-profile", "weird"]
+            )

@@ -6,6 +6,12 @@ from repro.io.bam import BamReader, write_bam
 from repro.io.linear_index import LinearIndex, build_index
 from repro.io.records import AlignedRead, SamHeader
 
+# This module covers the legacy single-contig surface on purpose; the
+# shim's DeprecationWarning itself is asserted in tests/test_bai.py.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:build_index is deprecated:DeprecationWarning"
+)
+
 
 @pytest.fixture
 def indexed_bam(tmp_path):

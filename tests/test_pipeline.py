@@ -560,9 +560,9 @@ class TestBamSourceBatchColumns:
 
 class TestMultiIndex:
     def test_multi_index_covers_both_contigs(self, multi_contig):
-        from repro.io.linear_index import build_multi_index
+        from repro.io.index import build_linear_index
 
-        indexes = build_multi_index(multi_contig["bam"])
+        indexes = build_linear_index(multi_contig["bam"])
         assert set(indexes) == {"ctgA", "ctgB"}
         assert indexes["ctgA"].data_start < indexes["ctgB"].data_start
         # Seeking through the ctgB index must land on ctgB records.
@@ -572,11 +572,13 @@ class TestMultiIndex:
         assert record.rname == "ctgB"
 
     def test_single_contig_index_unchanged(self, bam_workspace):
-        from repro.io.linear_index import build_index, build_multi_index
+        from repro.io.index import build_linear_index
+        from repro.io.linear_index import build_index
 
         _, bam = bam_workspace
-        flat = build_index(bam)
-        multi = build_multi_index(bam)
+        with pytest.warns(DeprecationWarning, match="build_index"):
+            flat = build_index(bam)
+        multi = build_linear_index(bam)
         (name,) = multi.keys()
         assert multi[name].checkpoints == flat.checkpoints
         assert multi[name].max_read_span == flat.max_read_span
