@@ -1,0 +1,146 @@
+"""Serving-layer benchmark: cold vs warm request latency.
+
+ISSUE 7 acceptance: a repeat request served from the result cache must
+be at least **5x** faster than the cold computation, with the warm
+response byte-identical to the cold one and to offline
+``Pipeline.run()`` output.  The measurements (and the per-request
+``RunStats`` snapshots) land machine-readably in
+``benchmarks/out/serve_stats.json``.
+"""
+
+import io
+import os
+import time
+
+import pytest
+
+from repro.io.fasta import write_fasta
+from repro.pipeline import BamSource, Pipeline, VcfSink
+from repro.serve import ServeClient
+from repro.sim.genome import sars_cov_2_like
+from repro.sim.haplotypes import random_panel
+from repro.sim.reads import ReadSimulator
+
+from conftest import FAST, write_stats_report
+
+#: Warm-path acceptance bar (cold latency / warm latency).
+MIN_WARM_SPEEDUP = 5.0
+
+
+@pytest.fixture(scope="module")
+def serve_workspace(tmp_path_factory):
+    """A simulated BAM + FASTA big enough that a cold call visibly
+    dwarfs a cache lookup."""
+    root = tmp_path_factory.mktemp("serve_bench")
+    length = 400 if FAST else 1500
+    depth = 300 if FAST else 800
+    genome = sars_cov_2_like(length=length, seed=777)
+    panel = random_panel(
+        genome.sequence, 6, freq_range=(0.02, 0.08), seed=777
+    )
+    sample = ReadSimulator(genome, panel, read_length=100).simulate(
+        depth, seed=777
+    )
+    bam = os.path.join(root, "serve.bam")
+    ref = os.path.join(root, "ref.fa")
+    sample.write_bam(bam)
+    write_fasta(ref, [genome])
+    return {"genome": genome, "bam": bam, "ref": ref}
+
+
+def test_warm_request_speedup(serve_workspace):
+    """Cold request computes through the pipeline; the identical warm
+    request must come back from the result cache >= 5x faster and
+    byte-identical (to the cold body *and* to offline Pipeline.run()).
+    """
+    genome = serve_workspace["genome"]
+    with ServeClient(
+        default_reference=serve_workspace["ref"], n_workers=1
+    ) as client:
+        t0 = time.perf_counter()
+        cold = client.call(serve_workspace["bam"])
+        cold_s = time.perf_counter() - t0
+
+        warm_times = []
+        warm_bodies = []
+        for _ in range(5):
+            t0 = time.perf_counter()
+            warm = client.call(serve_workspace["bam"])
+            warm_times.append(time.perf_counter() - t0)
+            warm_bodies.append(warm.body)
+            assert warm.cached, "repeat request missed the result cache"
+        warm_s = min(warm_times)
+        serve_stats = client.stats()
+
+    # Byte-identity: warm == cold == offline.
+    assert all(body == cold.body for body in warm_bodies)
+    source = BamSource(
+        serve_workspace["bam"], {genome.name: genome.sequence}
+    )
+    buf = io.StringIO()
+    Pipeline(source, sinks=[VcfSink(buf, contigs=source.contigs)]).run()
+    offline_body = buf.getvalue()
+    assert cold.body == offline_body, (
+        "served body diverged from offline Pipeline.run()"
+    )
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    write_stats_report(
+        "serve_stats.json",
+        {
+            "cold": cold.stats,
+            "warm": warm.stats,
+        },
+        extra={
+            "workload": {
+                "genome_length": len(genome),
+                "bam_bytes": os.path.getsize(serve_workspace["bam"]),
+                "n_warm_repeats": len(warm_times),
+            },
+            "cold_s": round(cold_s, 6),
+            "warm_s": round(warm_s, 6),
+            "speedup": round(speedup, 2),
+            "byte_identical": cold.body == offline_body,
+            "server": serve_stats,
+        },
+    )
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm path {speedup:.1f}x vs cold; need >= {MIN_WARM_SPEEDUP}x "
+        f"(cold {cold_s * 1e3:.1f} ms, warm {warm_s * 1e3:.3f} ms)"
+    )
+
+
+def test_coalesced_burst_computes_once(serve_workspace):
+    """A burst of identical concurrent requests is one computation:
+    the coalesced waiters' aggregate latency is a fraction of running
+    each cold."""
+    import asyncio
+
+    from repro.serve import CallRequest, CallService
+
+    service = CallService(
+        default_reference=serve_workspace["ref"], n_workers=2
+    )
+    request = CallRequest(
+        bam=serve_workspace["bam"], reference=serve_workspace["ref"]
+    )
+
+    async def burst(n):
+        t0 = time.perf_counter()
+        responses = await asyncio.gather(
+            *(service.submit(request) for _ in range(n))
+        )
+        return responses, time.perf_counter() - t0
+
+    try:
+        responses, elapsed = asyncio.run(burst(8))
+        stats = service.stats()
+    finally:
+        service.close()
+    assert stats["computed"] == 1, stats
+    assert stats["coalesced"] == 7, stats
+    assert len({r.body for r in responses}) == 1
+    print(
+        f"\n[burst of 8 identical requests: 1 computation, "
+        f"{elapsed * 1e3:.1f} ms total]"
+    )

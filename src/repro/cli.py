@@ -17,6 +17,11 @@ Subcommands mirror the original tool-chain:
   ``--output-format {vcf,jsonl}`` picks the output dialect and
   ``--stats-json`` emits machine-readable run stats.  The subcommand
   is a thin adapter over :mod:`repro.pipeline`.
+* ``serve`` -- run the long-running calling service
+  (:mod:`repro.serve`): a TCP front end whose requests name
+  ``(bam, region, config)``, with request coalescing, warm-reader
+  shard workers, a result cache keyed by file fingerprint, and
+  graceful drain on SIGINT/SIGTERM.
 * ``compare`` -- concordance report between two VCFs.
 * ``upset`` -- ASCII upset plot across any number of VCFs (Figure 3).
 
@@ -194,6 +199,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the legacy partition-per-process pipeline (double "
         "dynamic filtering; reproduces the upstream inconsistency bug "
         "-- for demonstration only)",
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="run the long-running calling service (TCP)"
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=7341, help="bind port (0 picks a free one)"
+    )
+    p_serve.add_argument(
+        "--reference",
+        default=None,
+        metavar="FASTA",
+        help="default reference for requests that name none",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="shard workers, each holding warm readers and indexes",
+    )
+    p_serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=32,
+        metavar="N",
+        help="bound on concurrently pending distinct computations "
+        "(backpressure)",
+    )
+    p_serve.add_argument(
+        "--on-full",
+        choices=["reject", "wait"],
+        default="reject",
+        help="beyond --max-pending: reject new requests (default) or "
+        "queue the submitter until a slot frees",
+    )
+    p_serve.add_argument(
+        "--result-cache",
+        type=int,
+        default=256,
+        metavar="N",
+        help="finished request bodies kept resident (LRU)",
+    )
+    p_serve.add_argument(
+        "--warm-sources",
+        type=int,
+        default=4,
+        metavar="N",
+        help="warm BAM sources kept per worker (LRU)",
+    )
+    p_serve.add_argument(
+        "--cache-blocks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="decompressed BGZF blocks cached per warm reader "
+        "(~64 KiB each; default 32)",
     )
 
     p_cmp = sub.add_parser("compare", help="concordance between two VCFs")
@@ -433,6 +497,34 @@ def _cmd_call(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import CallService, run_server
+
+    if args.reference is not None:
+        import os
+
+        if not os.path.exists(args.reference):
+            print(
+                f"error: reference {args.reference!r} does not exist",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        service = CallService(
+            default_reference=args.reference,
+            n_workers=args.workers,
+            max_pending=args.max_pending,
+            result_cache_entries=args.result_cache,
+            warm_sources=args.warm_sources,
+            cache_blocks=args.cache_blocks,
+            on_full=args.on_full,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return run_server(service, args.host, args.port)
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.analysis import compare_call_sets
     from repro.io.vcf import read_vcf
@@ -476,6 +568,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "index": _cmd_index,
         "call": _cmd_call,
+        "serve": _cmd_serve,
         "compare": _cmd_compare,
         "upset": _cmd_upset,
     }

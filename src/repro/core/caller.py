@@ -113,6 +113,7 @@ class VariantCaller:
             buffer: List[PileupColumn] = []
 
             def flush() -> None:
+                """Evaluate and drain the buffered slice of columns."""
                 t_batch = time.perf_counter()
                 calls.extend(
                     evaluate_columns_batched(
@@ -175,6 +176,7 @@ class VariantCaller:
     # -- substrate adapters (deprecated shims over repro.pipeline) -----------
 
     def _effective_policy(self, apply_filters: bool):
+        """The filter policy to apply, or ``None`` when filtering is off."""
         return self.filter_policy if apply_filters else None
 
     def call_reads(

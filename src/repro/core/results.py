@@ -77,6 +77,7 @@ class VariantCall:
         return min(3000.0, -10.0 * math.log10(self.pvalue))
 
     def to_vcf_record(self) -> VcfRecord:
+        """Render this call as a :class:`VcfRecord` (DP/AF/SB/DP4 INFO)."""
         return VcfRecord(
             chrom=self.chrom,
             pos=self.pos,
@@ -116,6 +117,7 @@ class RunStats:
     cache_evictions: int = 0
 
     def record_decision(self, decision: ColumnDecision) -> None:
+        """Count one per-column decision in the census."""
         self.decisions[decision.value] = self.decisions.get(decision.value, 0) + 1
 
     def record_decisions(self, decision: ColumnDecision, count: int) -> None:

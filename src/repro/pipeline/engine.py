@@ -262,8 +262,9 @@ class Pipeline:
         # Fold the source's I/O counters (BGZF block-cache hit/miss/
         # eviction tallies from every reader it created) into the run
         # stats before the sinks snapshot them.  Process-backend
-        # children hold their readers in the forked workers, so only
-        # parent-side readers are counted there.
+        # children already folded their own readers' deltas into the
+        # stats they returned (see _process_worker), so this fold adds
+        # exactly the parent-side readers and nothing double-counts.
         io_stats = getattr(self.source, "io_stats", None)
         if io_stats is not None:
             counters = io_stats()
@@ -420,12 +421,32 @@ _FORK_STATE: dict = {}
 
 
 def _process_worker(args: Tuple[int, List[Region]]):
+    """One forked worker's chunk loop.
+
+    Readers this child creates live in its own address space, so their
+    block-cache counters would be invisible to the parent; the child
+    folds its ``io_stats()`` *delta* (new counts minus whatever was
+    inherited from pre-fork readers via copy-on-write) into the
+    returned stats, and the parent's own post-run ``io_stats()`` fold
+    covers only parent-side readers -- totals add up exactly once.
+    """
     worker, chunk_list = args
     source = _FORK_STATE["source"]
     caller = _FORK_STATE["caller"]
     scope = _FORK_STATE["scope"]
     tracer = Tracer()
     merged = CallResult(calls=[], stats=RunStats())
+    io_stats = getattr(source, "io_stats", None)
+    baseline = io_stats() if io_stats is not None else None
     for chunk in chunk_list:
         _evaluate_chunk(worker, source, caller, chunk, scope, tracer, merged)
+    if baseline is not None:
+        counters = io_stats()
+        for attr, key in (
+            ("cache_hits", "cache_hits"),
+            ("cache_misses", "cache_misses"),
+            ("cache_evictions", "cache_evictions"),
+        ):
+            delta = int(counters.get(key, 0)) - int(baseline.get(key, 0))
+            setattr(merged.stats, attr, getattr(merged.stats, attr) + delta)
     return merged.calls, merged.stats, tracer.events

@@ -8,9 +8,11 @@ stream, an in-memory sample, pre-built columns) and exposes it as
   source is responsible for -- one per contig for a multi-contig BAM,
   which is how the pipeline calls across **every** reference instead
   of only ``header.references[0]``;
-* :meth:`ColumnSource.columns_for` materialises the pileup columns of
-  any sub-interval of those regions, so the execution layer is free to
-  re-chunk regions for scheduling;
+* :meth:`ColumnSource.columns_for` produces the pileup columns of
+  any sub-interval of those regions (lazily where the substrate
+  permits -- :class:`BamSource` streams the ``pileup()`` generator
+  per column), so the execution layer is free to re-chunk regions
+  for scheduling;
 * :meth:`ColumnSource.batches_for` is the columnar spine: the same
   span as structure-of-arrays
   :class:`~repro.pileup.column.ColumnBatch` work units, which the
@@ -614,25 +616,26 @@ class BamSource:
                     return
                 yield rec
 
-    def _scan(self, chunk: Region, tracer: Optional[Tracer], worker: int, build):
-        """Seek to ``chunk``, stream its records through ``build``
-        (reads iterator -> result) and attribute the time: inflation
-        to DECOMPRESS, the remainder of the read+pileup phase to
-        BAM_ITER, as HPC-Toolkit would.  Returns ``None`` when the
-        contig has no records at all."""
-        trc = tracer or Tracer()
-        plan = self._chunk_plan(chunk)
-        if plan is not self._REWIND and not plan:
-            return None
-        reader = self._reader()
-        t_dec0 = reader._bgzf.time_decompress
-        t0 = time.perf_counter()
-        result = build(self._iter_records(reader, chunk, plan))
-        t1 = time.perf_counter()
-        dec = reader._bgzf.time_decompress - t_dec0
-        trc.record(worker, Category.DECOMPRESS, t0, t0 + dec)
-        trc.record(worker, Category.BAM_ITER, t0 + dec, t1)
-        return result
+    def _timed_pulls(self, reader, inner, trc: Tracer, worker: int):
+        """Drive a lazy per-chunk stream (columns or batches) one pull
+        at a time, attributing each pull's BGZF inflation to
+        ``DECOMPRESS`` and the remaining decode/pileup work to
+        ``BAM_ITER`` -- the per-pull twin of the old eager scan's
+        one-block attribution."""
+        while True:
+            t_dec0 = reader._bgzf.time_decompress
+            t0 = time.perf_counter()
+            try:
+                item = next(inner)
+            except StopIteration:
+                item = None
+            t1 = time.perf_counter()
+            dec = reader._bgzf.time_decompress - t_dec0
+            trc.record(worker, Category.DECOMPRESS, t0, t0 + dec)
+            trc.record(worker, Category.BAM_ITER, t0 + dec, t1)
+            if item is None:
+                return
+            yield item
 
     def io_stats(self) -> Dict[str, float]:
         """Aggregate I/O counters over every reader this source has
@@ -640,7 +643,10 @@ class BamSource:
         seconds, and the decompressed-block LRU's hit/miss/eviction
         counts.  Readers created inside forked worker processes
         (process backend) live in the children and are not visible
-        here; thread-backend and serial runs are fully covered.
+        here -- but the process backend's workers fold their own
+        deltas into the stats they return, so pipeline-level
+        :class:`~repro.core.results.RunStats` totals are complete on
+        every backend.
         """
         stats = {
             "cache_hits": 0,
@@ -665,23 +671,35 @@ class BamSource:
         chunk: Region,
         tracer: Optional[Tracer] = None,
         worker: int = 0,
-    ) -> List[PileupColumn]:
-        """The chunk's columns through the streaming pileup sweep
-        over a seek-positioned per-worker reader."""
-        columns = self._scan(
+    ) -> Iterable[PileupColumn]:
+        """The chunk's columns as a lazy per-column stream.
+
+        The :func:`~repro.pileup.engine.pileup` generator is pulled
+        one column at a time over a seek-positioned per-worker reader
+        -- the chunk's column list is never materialised, so the
+        streaming engine's in-flight memory is one column's arrays
+        plus the sweep's active accumulators (read length x depth),
+        matching the batch path's bounded-construction guarantee.
+
+        Each pull's time is attributed like :meth:`batches_for`:
+        inflation to ``DECOMPRESS``, decode+pileup to ``BAM_ITER``
+        (interleaved with the consumer's own spans).  Like the batch
+        stream, at most **one** live stream per thread: exhaust (or
+        abandon) a chunk's stream before starting the next chunk's on
+        the same thread, as the pipeline's worker loop does.
+        """
+        trc = tracer or Tracer()
+        plan = self._chunk_plan(chunk)
+        if plan is not self._REWIND and not plan:
+            return
+        reader = self._reader()
+        inner = pileup(
+            self._iter_records(reader, chunk, plan),
+            self._reference_for(chunk.chrom),
             chunk,
-            tracer,
-            worker,
-            lambda reads: list(
-                pileup(
-                    reads,
-                    self._reference_for(chunk.chrom),
-                    chunk,
-                    self.pileup_config,
-                )
-            ),
+            self.pileup_config,
         )
-        return [] if columns is None else columns
+        yield from self._timed_pulls(reader, inner, trc, worker)
 
     def _stream_batches(self, reader, chunk: Region, plan):
         """The untimed inner generator behind :meth:`batches_for`:
@@ -740,17 +758,4 @@ class BamSource:
             return
         reader = self._reader()
         inner = self._stream_batches(reader, chunk, plan)
-        while True:
-            t_dec0 = reader._bgzf.time_decompress
-            t0 = time.perf_counter()
-            try:
-                batch = next(inner)
-            except StopIteration:
-                batch = None
-            t1 = time.perf_counter()
-            dec = reader._bgzf.time_decompress - t_dec0
-            trc.record(worker, Category.DECOMPRESS, t0, t0 + dec)
-            trc.record(worker, Category.BAM_ITER, t0 + dec, t1)
-            if batch is None:
-                return
-            yield batch
+        yield from self._timed_pulls(reader, inner, trc, worker)

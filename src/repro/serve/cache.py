@@ -1,0 +1,86 @@
+"""The serving result cache: finished bodies keyed by
+:class:`~repro.serve.models.ResultKey`.
+
+The replacement policy is the graduated
+:class:`~repro.cachesim.lru.LruCache` (the same structure behind the
+BGZF decompressed-block buffer), wrapped with a lock so the asyncio
+front end and the shard workers can touch it concurrently.  Keys embed
+the BAM's :class:`~repro.serve.models.FileFingerprint`, so
+invalidation is structural: a file rewritten in place produces a new
+fingerprint and therefore a guaranteed miss -- stale entries age out
+of the LRU instead of ever being served.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Dict, Optional
+
+from repro.cachesim.lru import LruCache
+from repro.serve.models import ResultKey
+
+__all__ = ["CachedResult", "ResultCache"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CachedResult:
+    """One finished computation: the rendered body and its run stats.
+
+    Attributes:
+        body: complete VCF or JSONL text, exactly as first rendered
+            (warm responses are byte-identical to the cold one).
+        output_format: which dialect ``body`` is.
+        stats: the computing run's
+            :meth:`~repro.core.results.RunStats.to_dict` snapshot.
+        n_calls: total calls in the body (PASS and filtered).
+        n_pass: PASS calls in the body.
+    """
+
+    body: str
+    output_format: str
+    stats: Dict[str, object]
+    n_calls: int
+    n_pass: int
+
+
+class ResultCache:
+    """A bounded, thread-safe ``ResultKey -> CachedResult`` mapping.
+
+    Args:
+        capacity: maximum resident results (LRU eviction beyond it).
+
+    Raises:
+        ValueError: if ``capacity`` is not positive.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self._lru: LruCache[ResultKey, CachedResult] = LruCache(capacity)
+        self._lock = threading.Lock()
+
+    def get(self, key: ResultKey) -> Optional[CachedResult]:
+        """Look up ``key`` (counts a hit or miss, promotes on hit)."""
+        with self._lock:
+            return self._lru.get(key)
+
+    def put(self, key: ResultKey, value: CachedResult) -> None:
+        """Store a finished result, evicting the LRU entry if full."""
+        with self._lock:
+            self._lru.put(key, value)
+
+    def __len__(self) -> int:
+        """Number of resident results."""
+        with self._lock:
+            return len(self._lru)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe counter snapshot for response/server stats."""
+        with self._lock:
+            return {
+                "entries": len(self._lru),
+                "capacity": int(self._lru.capacity),
+                "hits": int(self._lru.hits),
+                "misses": int(self._lru.misses),
+                "evictions": int(self._lru.evictions),
+                "hit_rate": float(self._lru.hit_rate),
+            }

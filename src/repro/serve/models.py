@@ -1,0 +1,309 @@
+"""Request/response models and cache keying for :mod:`repro.serve`.
+
+A serving request names ``(bam, region, config)``; everything the
+service caches or coalesces on is derived here:
+
+* :class:`FileFingerprint` -- a file's identity as
+  ``(path, size, mtime_ns)``.  Rewriting a file in place changes its
+  fingerprint, so stale cache entries *cannot* be served: the new
+  fingerprint simply never matches the old key (invalidation by
+  construction, no TTLs, no explicit purge).
+* :func:`config_hash` -- a stable SHA-256 digest over every knob that
+  can change the rendered body: the caller configuration, the pileup
+  configuration, the output format and the reference file's
+  fingerprint.
+* :class:`ResultKey` -- ``(bam fingerprint, region, config hash)``,
+  the result-cache and request-coalescing key.
+
+:class:`CallRequest` / :class:`CallResponse` are the service's wire
+objects; both convert to and from plain JSON-safe dicts so the TCP
+front end and the in-process client share one vocabulary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Dict, Optional
+
+from repro.core.config import CallerConfig
+from repro.pileup.engine import PileupConfig
+
+__all__ = [
+    "CallRequest",
+    "CallResponse",
+    "FileFingerprint",
+    "RequestError",
+    "ResultKey",
+    "ServerClosedError",
+    "ServerOverloadedError",
+    "ValidationError",
+    "config_hash",
+]
+
+#: Region component of a :class:`ResultKey` for "every header contig".
+ALL_REGIONS = "*"
+
+_FORMATS = ("vcf", "jsonl")
+
+
+class RequestError(Exception):
+    """Base class for request-level serving failures.
+
+    Everything raised by :meth:`CallService.submit` that describes a
+    problem with *one request* (rather than a server bug) derives from
+    this, so front ends can map the family to an error response
+    without taking the server down.
+    """
+
+
+class ValidationError(RequestError):
+    """The request itself is malformed (bad path, region, or config)."""
+
+
+class ServerOverloadedError(RequestError):
+    """Backpressure: the pending-work bound is full and the service
+    was configured to reject rather than queue."""
+
+
+class ServerClosedError(RequestError):
+    """The service is shutting down and no longer accepts requests."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FileFingerprint:
+    """A file's identity: absolute path plus size and mtime.
+
+    Two fingerprints compare equal only if they describe the same
+    path *and* the same version of its contents (size and
+    nanosecond mtime).  Used as the file component of
+    :class:`ResultKey` and of the workers' warm-source keys, so a BAM
+    rewritten in place gets a fresh reader and a cache miss instead
+    of stale bytes.
+    """
+
+    path: str
+    size: int
+    mtime_ns: int
+
+    @classmethod
+    def of(cls, path) -> "FileFingerprint":
+        """Fingerprint ``path`` as it exists right now.
+
+        Raises:
+            ValidationError: if the file does not exist (or is not
+                stat-able).
+        """
+        resolved = os.path.abspath(os.fspath(path))
+        try:
+            st = os.stat(resolved)
+        except OSError as exc:
+            raise ValidationError(f"cannot stat {resolved!r}: {exc}") from exc
+        return cls(path=resolved, size=st.st_size, mtime_ns=st.st_mtime_ns)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot (used in response metadata)."""
+        return {
+            "path": self.path,
+            "size": int(self.size),
+            "mtime_ns": int(self.mtime_ns),
+        }
+
+
+def config_hash(
+    config: CallerConfig,
+    pileup: PileupConfig,
+    output_format: str,
+    reference: Optional[FileFingerprint],
+) -> str:
+    """Digest every output-affecting knob into a stable hex string.
+
+    The digest covers the full caller and pileup configurations (as
+    sorted field dicts), the output format, and the reference file's
+    fingerprint -- so editing the reference FASTA in place invalidates
+    exactly like editing the BAM does.  Knobs that cannot change the
+    rendered body (worker counts, cache sizes) are deliberately
+    excluded: requests differing only in those coalesce and share
+    cache entries.
+    """
+    payload = {
+        "config": dataclasses.asdict(config),
+        "pileup": dataclasses.asdict(pileup),
+        "output_format": output_format,
+        "reference": reference.to_dict() if reference is not None else None,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class ResultKey:
+    """The result-cache / coalescing key: file identity x region x config.
+
+    Attributes:
+        bam: fingerprint of the BAM at request time.
+        region: normalised region text, or :data:`ALL_REGIONS` for a
+            whole-file request.
+        config: :func:`config_hash` digest.
+    """
+
+    bam: FileFingerprint
+    region: str
+    config: str
+
+    @property
+    def contig(self) -> str:
+        """The region's contig name ('' for a whole-file request) --
+        the shard map's routing component."""
+        if self.region == ALL_REGIONS:
+            return ""
+        return self.region.split(":", 1)[0]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot (used in response metadata)."""
+        return {
+            "bam": self.bam.to_dict(),
+            "region": self.region,
+            "config": self.config,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class CallRequest:
+    """One serving request: call ``region`` of ``bam`` under a config.
+
+    Attributes:
+        bam: path to a coordinate-sorted BAM file.
+        region: samtools-style region text (``chrom``,
+            ``chrom:start-end``); ``None`` calls every header contig.
+        reference: FASTA path; ``None`` falls back to the service's
+            default reference.
+        output_format: ``"vcf"`` or ``"jsonl"`` body dialect.
+        config: caller configuration (default: the improved preset).
+        pileup: pileup filtering parameters.
+    """
+
+    bam: str
+    region: Optional[str] = None
+    reference: Optional[str] = None
+    output_format: str = "vcf"
+    config: CallerConfig = dataclasses.field(
+        default_factory=CallerConfig.improved
+    )
+    pileup: PileupConfig = dataclasses.field(default_factory=PileupConfig)
+
+    def region_key(self) -> str:
+        """The normalised region component of this request's key."""
+        if self.region is None:
+            return ALL_REGIONS
+        return self.region.strip()
+
+    @classmethod
+    def from_dict(
+        cls, payload: Dict[str, object], *, default_reference: Optional[str] = None
+    ) -> "CallRequest":
+        """Build a request from a plain JSON dict (the TCP protocol).
+
+        ``config`` / ``pileup`` sub-dicts hold keyword overrides for
+        :class:`~repro.core.config.CallerConfig` /
+        :class:`~repro.pileup.engine.PileupConfig`; unknown keys (and
+        unknown top-level keys) raise :class:`ValidationError` rather
+        than being silently dropped.
+        """
+        if not isinstance(payload, dict):
+            raise ValidationError("request payload must be a JSON object")
+        known = {"bam", "region", "reference", "output_format", "config", "pileup"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValidationError(f"unknown request fields: {sorted(unknown)}")
+        bam = payload.get("bam")
+        if not isinstance(bam, str) or not bam:
+            raise ValidationError("request needs a 'bam' path")
+        try:
+            config = CallerConfig(**payload.get("config", {}))
+            pileup = PileupConfig(**payload.get("pileup", {}))
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(f"bad request config: {exc}") from exc
+        return cls(
+            bam=bam,
+            region=payload.get("region"),
+            reference=payload.get("reference") or default_reference,
+            output_format=payload.get("output_format", "vcf"),
+            config=config,
+            pileup=pileup,
+        )
+
+    def validated(self) -> "CallRequest":
+        """Front-end validation: cheap checks that need no BAM open.
+
+        Returns self (requests are immutable).
+
+        Raises:
+            ValidationError: on an unknown output format, malformed
+                region text, or a missing reference.
+        """
+        from repro.io.regions import parse_region
+
+        if self.output_format not in _FORMATS:
+            raise ValidationError(
+                f"output_format must be one of {_FORMATS}, "
+                f"got {self.output_format!r}"
+            )
+        if self.region is not None:
+            text = self.region.strip()
+            if not text:
+                raise ValidationError("region must not be empty")
+            try:
+                # Syntax-only parse; contig membership and bounds are
+                # checked in the worker, which has the BAM header.
+                parse_region(text, reference_length=1 << 40)
+            except ValueError as exc:
+                raise ValidationError(str(exc)) from exc
+        if self.reference is None:
+            raise ValidationError(
+                "request names no reference and the service has no default"
+            )
+        if not os.path.exists(self.reference):
+            raise ValidationError(
+                f"reference {self.reference!r} does not exist"
+            )
+        return self
+
+
+@dataclasses.dataclass
+class CallResponse:
+    """One serving response: the rendered body plus its provenance.
+
+    Attributes:
+        body: the complete VCF or JSONL text.
+        output_format: which dialect ``body`` is.
+        cached: served straight from the result cache.
+        coalesced: attached to another request's in-flight computation
+            (computed once, delivered to every waiter).
+        key: the :class:`ResultKey` this response was stored under
+            (``None`` for responses deserialised from the TCP
+            protocol, which does not echo the key).
+        stats: the run's :meth:`~repro.core.results.RunStats.to_dict`
+            snapshot plus a ``"serve"`` sub-dict of service counters.
+    """
+
+    body: str
+    output_format: str
+    cached: bool
+    coalesced: bool
+    key: Optional[ResultKey]
+    stats: Dict[str, object]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot (the TCP response payload)."""
+        return {
+            "status": "ok",
+            "body": self.body,
+            "output_format": self.output_format,
+            "cached": bool(self.cached),
+            "coalesced": bool(self.coalesced),
+            "key": self.key.to_dict() if self.key is not None else None,
+            "stats": self.stats,
+        }

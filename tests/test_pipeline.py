@@ -582,3 +582,85 @@ class TestMultiIndex:
         (name,) = multi.keys()
         assert multi[name].checkpoints == flat.checkpoints
         assert multi[name].max_read_span == flat.max_read_span
+
+
+class TestIoStatsBackends:
+    """ISSUE 7 satellite: block-cache counters reach RunStats on every
+    backend, including forked process workers (PR 6 deferral)."""
+
+    def test_process_backend_reports_child_cache_counters(
+        self, bam_workspace, genome
+    ):
+        _, bam = bam_workspace
+        source = BamSource(bam, genome.sequence)
+        result = Pipeline(
+            source,
+            policy=ExecutionPolicy(
+                mode="process", n_workers=2, chunk_columns=200
+            ),
+        ).run()
+        # Child readers live in the forked workers; before the fix
+        # their hits/misses were dropped on the floor and these
+        # counters were (parent-only) zero.
+        total = result.stats.cache_hits + result.stats.cache_misses
+        assert total > 0, result.stats.to_dict()
+
+    def test_serial_and_process_counters_both_complete(
+        self, bam_workspace, genome
+    ):
+        _, bam = bam_workspace
+        serial = Pipeline(BamSource(bam, genome.sequence)).run()
+        process = Pipeline(
+            BamSource(bam, genome.sequence),
+            policy=ExecutionPolicy(
+                mode="process", n_workers=2, chunk_columns=200
+            ),
+        ).run()
+        assert serial.stats.cache_misses > 0
+        assert process.stats.cache_misses > 0
+        # Identical calls either way -- the counters describe I/O, not
+        # output.
+        assert [c.key for c in process.calls] == [c.key for c in serial.calls]
+
+
+class TestStreamingColumnsFor:
+    """ISSUE 7 satellite: BamSource.columns_for streams the pileup()
+    generator per column (PR 5 deferral) instead of materialising the
+    chunk's column list."""
+
+    def test_columns_for_is_lazy(self, bam_workspace, genome):
+        import inspect
+
+        _, bam = bam_workspace
+        source = BamSource(bam, genome.sequence)
+        (region,) = source.regions()
+        stream = source.columns_for(region)
+        assert inspect.isgenerator(stream)
+        first = next(stream)
+        assert first.pos >= region.start
+        stream.close()  # abandoning a partial stream must be safe
+
+    def test_streamed_columns_match_eager_pileup(self, bam_workspace, genome):
+        _, bam = bam_workspace
+        source = BamSource(bam, genome.sequence)
+        (region,) = source.regions()
+        streamed = list(source.columns_for(region))
+        with BamReader(bam) as reader:
+            eager = list(
+                pileup(iter(reader), genome.sequence, region)
+            )
+        assert len(streamed) == len(eager)
+        for got, want in zip(streamed, eager):
+            assert got.pos == want.pos
+            assert got.depth == want.depth
+            assert list(got.base_codes) == list(want.base_codes)
+
+    def test_streaming_engine_pipeline_unchanged(self, bam_workspace, genome):
+        _, bam = bam_workspace
+        caller = VariantCaller()
+        expected = reference_call_bam(caller, str(bam), genome.sequence)
+        result = Pipeline(
+            BamSource(bam, genome.sequence),
+            policy=ExecutionPolicy(mode="thread", n_workers=3, chunk_columns=128),
+        ).run()
+        assert result.keys() == expected.keys()
