@@ -115,6 +115,8 @@ class RunStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    prefetch_hits: int = 0
+    prefetch_wasted: int = 0
 
     def record_decision(self, decision: ColumnDecision) -> None:
         """Count one per-column decision in the census."""
@@ -143,6 +145,8 @@ class RunStats:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.cache_evictions += other.cache_evictions
+        self.prefetch_hits += other.prefetch_hits
+        self.prefetch_wasted += other.prefetch_wasted
         for k, v in other.decisions.items():
             self.decisions[k] = self.decisions.get(k, 0) + v
         return self
@@ -186,6 +190,8 @@ class RunStats:
             "cache_misses": int(self.cache_misses),
             "cache_evictions": int(self.cache_evictions),
             "cache_hit_rate": float(self.cache_hit_rate()),
+            "prefetch_hits": int(self.prefetch_hits),
+            "prefetch_wasted": int(self.prefetch_wasted),
         }
 
 

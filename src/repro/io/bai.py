@@ -453,7 +453,7 @@ class _RefAccumulator:
         )
 
 
-def build_bai(bam_path) -> BaiIndex:
+def build_bai(bam_path, *, decompress_threads: int = 0) -> BaiIndex:
     """Scan a coordinate-sorted BAM once and build its BAI index.
 
     One pass over the BGZF stream: each record contributes a chunk
@@ -464,11 +464,17 @@ def build_bai(bam_path) -> BaiIndex:
     :meth:`BaiIndex.chunks_for` (names are attached from the header
     here, so the returned index is query-ready).
 
+    Args:
+        bam_path: coordinate-sorted BAM to scan.
+        decompress_threads: BGZF readahead pool size for the
+            sequential scan (``0`` = serial; the index bytes are
+            identical either way).
+
     Raises:
         ValueError: if the BAM is not coordinate-sorted or a record
             references a contig missing from the header.
     """
-    with BamReader(bam_path) as reader:
+    with BamReader(bam_path, decompress_threads=decompress_threads) as reader:
         names = [name for name, _ in reader.header.references]
         rank = {name: i for i, name in enumerate(names)}
         accumulators = [_RefAccumulator() for _ in names]

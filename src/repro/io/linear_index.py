@@ -206,7 +206,9 @@ def build_multi_index(
     return _scan_linear(bam_path, granularity)
 
 
-def _scan_linear(bam_path, granularity: int = 256) -> Dict[str, LinearIndex]:
+def _scan_linear(
+    bam_path, granularity: int = 256, decompress_threads: int = 0
+) -> Dict[str, LinearIndex]:
     """The single-scan implementation behind every linear-index
     builder: one :class:`LinearIndex` per contig with records.
 
@@ -222,7 +224,7 @@ def _scan_linear(bam_path, granularity: int = 256) -> Dict[str, LinearIndex]:
     if granularity <= 0:
         raise ValueError(f"granularity must be positive, got {granularity}")
     builders: Dict[str, _ContigIndexBuilder] = {}
-    with BamReader(bam_path) as reader:
+    with BamReader(bam_path, decompress_threads=decompress_threads) as reader:
         rank = {
             name: i for i, (name, _) in enumerate(reader.header.references)
         }

@@ -273,6 +273,12 @@ class Pipeline:
             result.stats.cache_evictions += int(
                 counters.get("cache_evictions", 0)
             )
+            result.stats.prefetch_hits += int(
+                counters.get("prefetch_hits", 0)
+            )
+            result.stats.prefetch_wasted += int(
+                counters.get("prefetch_wasted", 0)
+            )
         # Sinks only open once calling has succeeded (filter labels are
         # fitted on the complete call set anyway, so nothing could
         # stream earlier) -- a failed run never leaves a header-only
@@ -446,6 +452,8 @@ def _process_worker(args: Tuple[int, List[Region]]):
             ("cache_hits", "cache_hits"),
             ("cache_misses", "cache_misses"),
             ("cache_evictions", "cache_evictions"),
+            ("prefetch_hits", "prefetch_hits"),
+            ("prefetch_wasted", "prefetch_wasted"),
         ):
             delta = int(counters.get(key, 0)) - int(baseline.get(key, 0))
             setattr(merged.stats, attr, getattr(merged.stats, attr) + delta)

@@ -77,6 +77,9 @@ class CallService:
         warm_sources: warm ``BamSource`` instances per worker.
         cache_blocks: per-reader decompressed-block LRU size for the
             warm readers (``None`` uses the BamSource default).
+        decompress_threads: BGZF readahead pool size for the warm
+            readers (``None`` uses the BamSource default, i.e.
+            serial; response bodies are byte-identical either way).
         on_full: ``"reject"`` raises
             :class:`~repro.serve.models.ServerOverloadedError` when
             ``max_pending`` is reached; ``"wait"`` queues the
@@ -95,6 +98,7 @@ class CallService:
         result_cache_entries: int = 256,
         warm_sources: int = 4,
         cache_blocks: Optional[int] = None,
+        decompress_threads: Optional[int] = None,
         on_full: str = "reject",
     ) -> None:
         if max_pending <= 0:
@@ -105,6 +109,10 @@ class CallService:
             raise ValueError(
                 f"cache_blocks must be positive, got {cache_blocks}"
             )
+        if decompress_threads is not None and decompress_threads < 0:
+            raise ValueError(
+                f"decompress_threads must be >= 0, got {decompress_threads}"
+            )
         self.default_reference = default_reference
         self.max_pending = max_pending
         self.on_full = on_full
@@ -112,7 +120,10 @@ class CallService:
         self._shards = ShardMap(n_workers)
         self._workers: List[ShardWorker] = [
             ShardWorker(
-                i, warm_sources=warm_sources, cache_blocks=cache_blocks
+                i,
+                warm_sources=warm_sources,
+                cache_blocks=cache_blocks,
+                decompress_threads=decompress_threads,
             )
             for i in range(n_workers)
         ]

@@ -329,6 +329,7 @@ def poibin_sf_dp_batch(
     len_ptr = 0
 
     def retire(rows: np.ndarray) -> None:
+        """Zero out finished lanes so the sweep skips them for free."""
         # Rows of finished lanes are zeroed rather than dropped: the
         # sweep keeps updating them (cheaper than masking every
         # step), but zero state stays zero, so the tail.max() prune

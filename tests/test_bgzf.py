@@ -256,3 +256,262 @@ class TestBlockCache:
             reader.read()
             # 6+ blocks streamed through a 2-slot buffer.
             assert reader.cache_evictions >= 4
+
+
+# -- parallel codec ----------------------------------------------------------
+
+import random as _random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io.bgzf import MAX_BLOCK_DATA
+
+THREAD_COUNTS = [0, 1, 2, 4]
+
+
+def _bgzf_bytes(payload: bytes, level: int = 6) -> bytes:
+    buf = io.BytesIO()
+    with BgzfWriter(buf, compresslevel=level) as writer:
+        writer.write(payload)
+    return buf.getvalue()
+
+
+def _read_outcome(raw: bytes, threads: int):
+    """Consume a (possibly malformed) stream; returns either
+    ("ok", bytes) or ("err", exception type, message)."""
+    try:
+        with BgzfReader(
+            io.BytesIO(raw), cache_blocks=4, decompress_threads=threads
+        ) as reader:
+            return ("ok", reader.read())
+    except Exception as exc:  # noqa: BLE001 - the outcome IS the test
+        return ("err", type(exc), str(exc))
+
+
+class TestParallelReaderFuzz:
+    """Hypothesis: the pooled reader is indistinguishable from serial."""
+
+    @given(
+        payload=st.binary(max_size=300_000),
+        threads=st.sampled_from(THREAD_COUNTS),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_matches_serial(self, payload, threads):
+        raw = _bgzf_bytes(payload)
+        with BgzfReader(io.BytesIO(raw)) as serial:
+            expect = serial.read()
+        with BgzfReader(
+            io.BytesIO(raw), cache_blocks=3, decompress_threads=threads
+        ) as pooled:
+            assert pooled.read() == expect == payload
+
+    @given(
+        payload=st.binary(min_size=1, max_size=300_000),
+        threads=st.sampled_from([1, 2, 4]),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_seek_after_prefetch_lands_on_serial_bytes(
+        self, payload, threads, seed
+    ):
+        raw = _bgzf_bytes(payload)
+        rng = _random.Random(seed)
+        serial = BgzfReader(io.BytesIO(raw))
+        pooled = BgzfReader(
+            io.BytesIO(raw), cache_blocks=2, decompress_threads=threads
+        )
+        try:
+            for _ in range(8):
+                n = rng.randint(0, 4000)
+                a, b = serial.read(n), pooled.read(n)
+                assert a == b
+                assert serial.tell() == pooled.tell()
+                if rng.random() < 0.6:
+                    # Seek to a virtual offset the serial reader can
+                    # name (possibly backwards into cached blocks,
+                    # possibly forward past prefetched ones).
+                    target = rng.randint(0, len(payload))
+                    serial.seek(0)
+                    serial.read(target)
+                    mark = serial.tell()
+                    assert pooled.seek(mark) == mark
+                    serial.seek(mark)
+        finally:
+            serial.close()
+            pooled.close()
+
+    @given(
+        payload=st.binary(min_size=1, max_size=200_000),
+        threads=st.sampled_from(THREAD_COUNTS),
+        mode=st.sampled_from(["truncate", "flip", "drop_eof"]),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_corrupt_streams_fail_identically(
+        self, payload, threads, mode, seed
+    ):
+        raw = bytearray(_bgzf_bytes(payload))
+        rng = _random.Random(seed)
+        if mode == "truncate":
+            raw = raw[: rng.randint(1, len(raw) - 1)]
+        elif mode == "flip":
+            raw[rng.randrange(len(raw) - len(BGZF_EOF))] ^= 0xFF
+        else:  # drop_eof
+            raw = raw[: -len(BGZF_EOF)]
+        raw = bytes(raw)
+        serial = _read_outcome(raw, 0)
+        pooled = _read_outcome(raw, threads)
+        # Same success bytes, or same exception type and message --
+        # the pool defers prefetch errors to the consumption point, so
+        # even failures are indistinguishable from serial.
+        assert pooled == serial
+
+
+class TestParallelWriterFuzz:
+    """Hypothesis: the pooled writer's bytes are bit-identical."""
+
+    @given(
+        payload=st.binary(max_size=300_000),
+        threads=st.sampled_from(THREAD_COUNTS),
+        chunk=st.integers(1, 100_000),
+        level=st.sampled_from([1, 6, 9]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bytes_identical_to_serial(self, payload, threads, chunk, level):
+        expect = _bgzf_bytes(payload, level)
+        buf = io.BytesIO()
+        with BgzfWriter(
+            buf, compresslevel=level, compress_threads=threads
+        ) as writer:
+            for i in range(0, len(payload), chunk):
+                writer.write(payload[i : i + chunk])
+        assert buf.getvalue() == expect
+
+    @given(
+        parts=st.lists(st.binary(max_size=80_000), max_size=5),
+        threads=st.sampled_from(THREAD_COUNTS),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_tell_matches_serial_mid_stream(self, parts, threads):
+        serial_buf, pooled_buf = io.BytesIO(), io.BytesIO()
+        serial = BgzfWriter(serial_buf)
+        pooled = BgzfWriter(pooled_buf, compress_threads=threads)
+        for part in parts:
+            serial.write(part)
+            pooled.write(part)
+            assert pooled.tell() == serial.tell()
+        serial.close()
+        pooled.close()
+        assert pooled_buf.getvalue() == serial_buf.getvalue()
+
+
+class TestReaderPool:
+    """Deterministic pooled-reader behaviour: knobs and counters."""
+
+    def test_negative_threads_rejected(self):
+        with pytest.raises(ValueError, match="decompress_threads"):
+            BgzfReader(io.BytesIO(BGZF_EOF), decompress_threads=-1)
+
+    def test_non_positive_readahead_rejected(self):
+        with pytest.raises(ValueError, match="readahead"):
+            BgzfReader(
+                io.BytesIO(BGZF_EOF), decompress_threads=2, readahead=0
+            )
+
+    def test_sequential_scan_prefetches(self):
+        raw = _bgzf_bytes(bytes(range(256)) * 1024)  # several blocks
+        with BgzfReader(
+            io.BytesIO(raw), cache_blocks=2, decompress_threads=2
+        ) as reader:
+            reader.read()
+            # Every block after the first is produced by the pool.
+            assert reader.prefetch_hits == reader.blocks_read - 1
+            assert reader.prefetch_wasted == 0
+            assert reader.pool_depth_peak >= 1
+            # Pool counters never leak into the serial-equivalent ones.
+            assert reader.cache_hits == 0
+            assert reader.cache_misses == reader.blocks_read
+
+    def test_abandoned_prefetch_counts_wasted(self):
+        raw = _bgzf_bytes(bytes(range(256)) * 2048)  # ~8 blocks
+        reader = BgzfReader(
+            io.BytesIO(raw), cache_blocks=1, decompress_threads=4
+        )
+        reader.read(10)  # block 0 consumed; blocks 1.. are in flight
+        reader.close()  # never consumed
+        assert reader.prefetch_wasted > 0
+        assert reader.prefetch_hits == 0
+
+    def test_serial_reader_has_zero_pool_counters(self):
+        raw = _bgzf_bytes(b"x" * 200_000)
+        with BgzfReader(io.BytesIO(raw)) as reader:
+            reader.read()
+            assert reader.decompress_threads == 0
+            assert reader.prefetch_hits == 0
+            assert reader.prefetch_wasted == 0
+            assert reader.pool_depth_peak == 0
+
+
+class TestParallelWriterKnobs:
+    def test_negative_threads_rejected(self):
+        with pytest.raises(ValueError, match="compress_threads"):
+            BgzfWriter(io.BytesIO(), compress_threads=-1)
+
+    def test_non_positive_inflight_rejected(self):
+        with pytest.raises(ValueError, match="inflight_blocks"):
+            BgzfWriter(io.BytesIO(), compress_threads=2, inflight_blocks=0)
+
+    def test_seek_marks_work_with_pool(self):
+        buf = io.BytesIO()
+        writer = BgzfWriter(buf, compress_threads=3)
+        writer.write(b"A" * MAX_BLOCK_DATA)
+        mark = writer.tell()
+        writer.write(b"B" * 1000)
+        writer.close()
+        buf.seek(0)
+        reader = BgzfReader(buf)
+        reader.seek(mark)
+        assert reader.read(5) == b"BBBBB"
+
+    def test_pool_depth_peak_tracks_backlog(self):
+        buf = io.BytesIO()
+        with BgzfWriter(buf, compress_threads=2) as writer:
+            writer.write(b"z" * (MAX_BLOCK_DATA * 6))
+        assert writer.pool_depth_peak >= 1
+        assert writer.blocks_written >= 6
+
+
+class TestEofProbeRegression:
+    """Repeated probes at physical EOF must neither populate the block
+    cache nor skew hit/miss counters -- serial and pooled alike."""
+
+    @pytest.mark.parametrize("threads", THREAD_COUNTS)
+    def test_probes_leave_counters_and_cache_alone(self, threads):
+        raw = _bgzf_bytes(bytes(range(256)) * 1024)
+        with BgzfReader(
+            io.BytesIO(raw), cache_blocks=8, decompress_threads=threads
+        ) as reader:
+            assert reader.read() == bytes(range(256)) * 1024
+            hits, misses = reader.cache_hits, reader.cache_misses
+            blocks, evict = reader.blocks_read, reader.cache_evictions
+            resident = len(reader._buffers)
+            end = reader.tell()
+            for _ in range(5):
+                reader.seek(end)
+                assert reader.read() == b""
+            assert reader.cache_hits == hits
+            assert reader.cache_misses == misses
+            assert reader.blocks_read == blocks
+            assert reader.cache_evictions == evict
+            assert len(reader._buffers) == resident
+
+    def test_probe_beyond_known_eof_short_circuits(self):
+        raw = _bgzf_bytes(b"tiny")
+        with BgzfReader(io.BytesIO(raw), decompress_threads=2) as reader:
+            reader.read()
+            probes = reader._cached_block_at(len(raw))
+            assert probes == (b"", 0)
+            again = reader._cached_block_at(len(raw) + 100)
+            assert again == (b"", 0)
+            assert reader.cache_misses == reader.blocks_read
